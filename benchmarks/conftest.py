@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper, prints the
+paper-style rows, saves them under ``bench_results/``, and asserts the
+qualitative shape (who wins, by roughly what factor).  Absolute wall
+time of the benchmark function itself is what pytest-benchmark records.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 1.0 = the
+  paper-faithful sizes);
+* ``REPRO_BENCH_RUNS``  — repetitions per configuration (default small).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, text: str):
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _save

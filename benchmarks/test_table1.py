@@ -1,0 +1,89 @@
+"""Benchmark: reproduce Table 1 (§7.1) — Turing computation & I/O times.
+
+Paper rows (seconds):
+
+    compute procs            16      32      64
+    computation           846.64  393.05  203.24
+    visible I/O Rochdf     51.58   83.28   51.19
+    visible I/O T-Rochdf    0.38    0.18    0.11
+    visible I/O Rocpanda    2.40    1.48    1.94
+    restart Rochdf          5.33    1.93    0.72
+    restart Rocpanda       69.9    39.2    18.2
+
+Shape assertions: computation scales with processors while Rochdf's
+visible I/O does not; T-Rochdf nearly eliminates visible I/O; Rocpanda
+cuts it by >= an order of magnitude and also cuts the file count 8x;
+Rocpanda restart costs far more than Rochdf restart, and both shrink
+as processors are added.
+"""
+
+import pytest
+
+from repro.bench import bench_runs, bench_scale, run_table1
+
+PROC_COUNTS = (16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(
+        proc_counts=PROC_COUNTS,
+        nruns=bench_runs(3),
+        scale=bench_scale(1.0),
+    )
+
+
+def test_table1(benchmark, table1_result, save_result):
+    benchmark.pedantic(lambda: table1_result, rounds=1, iterations=1)
+    save_result("table1.txt", table1_result.render())
+
+    res = table1_result
+    comp = [res.value("computation", n) for n in PROC_COUNTS]
+    rochdf = [res.value("rochdf", n) for n in PROC_COUNTS]
+    trochdf = [res.value("trochdf", n) for n in PROC_COUNTS]
+    rocpanda = [res.value("rocpanda", n) for n in PROC_COUNTS]
+    r_hdf = [res.value("restart_rochdf", n) for n in PROC_COUNTS]
+    r_panda = [res.value("restart_rocpanda", n) for n in PROC_COUNTS]
+
+    # Computation scales well with the number of processors (§7.1).
+    assert comp[0] > comp[1] > comp[2]
+    assert 1.5 < comp[0] / comp[1] < 2.9
+    assert 1.5 < comp[1] / comp[2] < 2.9
+
+    # Rochdf's visible I/O does NOT scale: flat-to-worse across sizes.
+    assert max(rochdf) / min(rochdf) < 2.5
+    assert min(rochdf) > 10.0
+
+    # T-Rochdf almost eliminates visible I/O and scales with procs.
+    assert all(t < 1.0 for t in trochdf)
+    assert trochdf[0] > trochdf[2]
+    # Paper: Rocpanda reduces visible I/O by a factor between 21 and 55;
+    # we accept an order of magnitude or better.
+    for base, panda in zip(rochdf, rocpanda):
+        assert base / panda > 10.0
+    # T-Rochdf visible cost is below Rocpanda's (local memcpy vs sends).
+    for threaded, panda in zip(trochdf, rocpanda):
+        assert threaded < panda
+
+    # Restart: Rocpanda pays for its big many-dataset files; Rochdf
+    # gains read parallelism (§7.1).  Both improve with more procs.
+    for cheap, expensive in zip(r_hdf, r_panda):
+        assert expensive > 3.0 * cheap
+    assert r_hdf[0] > r_hdf[2]
+    assert r_panda[0] > r_panda[2]
+
+
+@pytest.mark.skipif(
+    bench_scale(1.0) != 1.0, reason="paper magnitudes need the full-size workload"
+)
+def test_table1_vs_paper_magnitudes(table1_result):
+    """Measured values within ~3x of every paper cell (soft fidelity)."""
+    res = table1_result
+    for metric, cells in res.paper.items():
+        for nprocs, paper_value in cells.items():
+            measured = res.value(metric, nprocs)
+            ratio = measured / paper_value
+            assert 1 / 3.5 < ratio < 3.5, (
+                f"{metric}@{nprocs}: measured {measured:.2f}s vs paper "
+                f"{paper_value:.2f}s (ratio {ratio:.2f})"
+            )

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Compare the three I/O services on the same workload (mini Table 1).
+
+Runs an identical multi-component simulation under:
+
+* Rochdf    — every compute process writes its own HDF file (blocking);
+* T-Rochdf  — same, but a background I/O thread hides the writes;
+* Rocpanda  — dedicated I/O servers with active buffering.
+
+and prints a side-by-side comparison of computation time, visible I/O
+time, and the number of files generated — the trade-off space of §7.1.
+
+Run:  python examples/compare_io_strategies.py
+"""
+
+from repro.bench import render_table
+from repro.cluster import Machine, turing
+from repro.genx import GENxConfig, lab_scale_motor, run_genx
+
+NCLIENTS = 16
+NSERVERS = 2
+
+
+def run_one(io_mode: str, workload):
+    nprocs = NCLIENTS + (NSERVERS if io_mode == "rocpanda" else 0)
+    config = GENxConfig(
+        workload=workload,
+        io_mode=io_mode,
+        nservers=NSERVERS if io_mode == "rocpanda" else 0,
+        prefix=f"cmp_{io_mode}",
+    )
+    machine = Machine(turing(), seed=7)
+    result = run_genx(machine, nprocs, config)
+    return {
+        "mode": io_mode,
+        "procs": nprocs,
+        "computation (s)": result.computation_time,
+        "visible I/O (s)": result.visible_io_time,
+        "files": result.files_created,
+        "hidden": f"{100 * (1 - result.visible_io_time / max(result.visible_io_time + result.computation_time, 1e-12)):.1f}%",
+    }
+
+
+def main():
+    workload = lab_scale_motor(
+        scale=0.1,
+        nblocks_fluid=64,
+        nblocks_solid=32,
+        steps=40,
+        snapshot_interval=10,
+    )
+    rows = [run_one(mode, workload) for mode in ("rochdf", "trochdf", "rocpanda")]
+    headers = list(rows[0].keys())
+    print(
+        render_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title=(
+                "Same simulation, three I/O services "
+                f"({NCLIENTS} compute procs, 5 snapshots, simulated Turing)"
+            ),
+        )
+    )
+    print()
+    print("Reading the table:")
+    print(" * Rochdf pays the full (non-scaling) NFS write cost in-line.")
+    print(" * T-Rochdf's visible cost is just a local memcpy — the I/O")
+    print("   thread writes while the solvers compute — but it leaves one")
+    print("   file per process per window per snapshot.")
+    print(" * Rocpanda also hides the cost AND cuts the file count by the")
+    print("   client:server ratio; that is why production runs use it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Plug a brand-new physics module into the framework.
+
+GENx "allows users to plug in different modules for each utility
+service and/or physics computation" (§3.1).  This example writes a new
+solver from scratch — a thermal-diffusion module — registers its data
+through Roccom windows/panes, runs it in an SPMD job with T-Rochdf
+doing overlapped snapshots, and reads the output back.
+
+It exercises exactly the integration surface a CSAR scientist would
+use: declare attributes, register panes, implement a kernel, and call
+the uniform OUT.write_attribute interface — without knowing anything
+about the I/O implementation underneath.
+
+Run:  python examples/custom_module.py
+"""
+
+import numpy as np
+
+from repro.cluster import Machine, testbox
+from repro.genx import cylinder_blocks
+from repro.genx.physics import PhysicsModule
+from repro.io import TRochdfModule, list_snapshot_files
+from repro.roccom import AttributeSpec, Roccom
+from repro.shdf import decode_file
+from repro.vmpi import run_spmd
+
+
+class RocTherm(PhysicsModule):
+    """A user-written module: explicit heat diffusion on mesh blocks."""
+
+    window_name = "RocTherm"
+    name = "roctherm"
+    cost_per_cell = 5.0e-5
+
+    def attribute_specs(self):
+        return [
+            AttributeSpec("temperature", "element", unit="K"),
+            AttributeSpec("heat_flux", "element", unit="W/m^2"),
+        ]
+
+    def nodes_per_elem(self):
+        return 4
+
+    def init_fields(self, window, block, rng):
+        ne = block.nelems
+        temp = np.full(ne, 300.0)
+        temp[: ne // 4] = 900.0  # hot end
+        window.set_array("temperature", block.block_id, temp)
+        window.set_array("heat_flux", block.block_id, np.zeros(ne))
+
+    def kernel(self, window, block, dt, step):
+        bid = block.block_id
+        T = window.get_array("temperature", bid)
+        q = window.get_array("heat_flux", bid)
+        lap = np.roll(T, 1) - 2 * T + np.roll(T, -1)
+        q[:] = -0.5 * (np.roll(T, -1) - T)
+        T += 0.2 * lap
+
+
+def main_factory(records):
+    def main(ctx):
+        com = Roccom(ctx)
+        com.load_module(TRochdfModule(ctx))
+
+        module = RocTherm()
+        specs = cylinder_blocks(
+            4, 2000, kind_mix=("unstructured",), id_base=ctx.rank * 10
+        )
+        module.setup(com, specs, np.random.default_rng(ctx.rank))
+
+        for step in range(1, 31):
+            yield from module.advance(ctx, dt=1e-3, step=step)
+            if step % 10 == 0:
+                yield from com.call_function(
+                    "OUT.write_attribute",
+                    "RocTherm",
+                    ["temperature", "heat_flux"],
+                    f"therm_{step:04d}",
+                    file_attrs={"time_step": step},
+                )
+        yield from com.call_function("OUT.sync")
+
+        window = com.window("RocTherm")
+        import numpy as _np
+
+        all_T = _np.concatenate(
+            [window.get_array("temperature", b.block_id) for b in module.blocks]
+        )
+        records[ctx.rank] = {
+            "panes": window.pane_ids(),
+            "max_T": float(all_T.max()),
+            "cold_end_T": float(all_T[-len(all_T) // 4 :].mean()),
+            "visible_io": com.module("trochdf").stats.visible_write_time,
+        }
+
+    return main
+
+
+def main():
+    records = {}
+    machine = Machine(testbox(nnodes=2, cpus_per_node=2), seed=5)
+    result = run_spmd(machine, 4, main_factory(records))
+
+    print("RocTherm ran on 4 processes with T-Rochdf snapshots:")
+    for rank in sorted(records):
+        r = records[rank]
+        print(
+            f"  rank {rank}: panes {r['panes']}, final max T "
+            f"{r['max_T']:.1f} K, visible I/O {r['visible_io'] * 1e3:.2f} ms"
+        )
+    print(f"  total virtual run time: {result.wall_time:.2f} s")
+
+    files = list_snapshot_files(machine.disk, "therm_0030")
+    image = decode_file(machine.disk.open(files[0]).read())
+    print(f"\nsnapshot {files[0]}: {len(image)} datasets")
+    for name in image.names()[:4]:
+        ds = image.get(name)
+        print(f"  {name:<32s} {ds.dtype} {list(ds.shape)} unit={ds.attrs['unit']!r}")
+    # Heat must have flowed from the hot quarter into the cold end.
+    assert all(r["cold_end_T"] > 300.0 for r in records.values()), (
+        "diffusion must warm the cold end"
+    )
+    assert all(r["max_T"] <= 900.0 for r in records.values())
+    print("\ndiffusion verified: heat spread from the hot end into the cold end")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The SMP placement effect: why dedicating one CPU to I/O pays off.
+
+Reproduces (in miniature) the §4.1/Fig 3(b) observation on a simulated
+ASCI Frost: using 15 of a node's 16 CPUs for computation and giving
+the 16th to a Rocpanda server is *faster in computation* than using
+all 16 CPUs for compute — because AIX background work lands on the
+mostly-idle server CPU instead of preempting solvers, and per-timestep
+synchronization amplifies whichever rank the noise hits.
+
+Run:  python examples/smp_placement.py
+"""
+
+from repro.bench import render_table
+from repro.cluster import Machine, frost
+from repro.genx import GENxConfig, run_genx, scalability_cylinder
+from repro.vmpi import placement
+
+
+def run_layout(label, nclients, workload, seed):
+    machine = Machine(frost(), seed=seed)
+    if label == "16NS":
+        config = GENxConfig(workload=workload, io_mode="rochdf", prefix="smp")
+        result = run_genx(machine, nclients, config, placement=placement.block)
+    elif label == "15NS":
+        config = GENxConfig(workload=workload, io_mode="rochdf", prefix="smp")
+        result = run_genx(
+            machine, nclients, config, placement=placement.leave_one_idle
+        )
+    else:  # 15S
+        nservers = nclients // 15
+        config = GENxConfig(
+            workload=workload, io_mode="rocpanda", nservers=nservers, prefix="smp"
+        )
+        result = run_genx(
+            machine, nclients + nservers, config, placement=placement.block
+        )
+    return result
+
+
+def main():
+    nclients = 120  # 8 nodes at 15/node
+    workload = scalability_cylinder(
+        per_client_bytes=256 * 1024,
+        steps=10,
+        snapshot_interval=5,
+        nominal_step_seconds=12.0,
+    )
+
+    rows = []
+    for label in ("16NS", "15NS", "15S"):
+        samples = [
+            run_layout(label, nclients, workload, seed).computation_time
+            for seed in (1, 2, 3)
+        ]
+        rows.append([label, sum(samples) / len(samples), min(samples), max(samples)])
+
+    print(
+        render_table(
+            ["layout", "mean comp time (s)", "min", "max"],
+            rows,
+            title=f"Computation time, {nclients} compute procs on simulated Frost",
+        )
+    )
+    mean = {row[0]: row[1] for row in rows}
+    print()
+    print(f"16NS vs 15NS overhead : {100 * (mean['16NS'] / mean['15NS'] - 1):+.2f}%")
+    print(f"15S  vs 15NS overhead : {100 * (mean['15S'] / mean['15NS'] - 1):+.2f}%")
+    print()
+    print("Dedicating the 16th CPU to a Rocpanda server keeps computation")
+    print("nearly as fast as leaving it idle — while also doing all the I/O.")
+    print('That is the paper\'s "double effect" (§4.1).')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: reproduction of "Flexible and Efficient Parallel I/O for
+Large-Scale Multi-component Simulations" (Ma, Jiao, Campbell, Winslett,
+IPPS 2003).
+
+Layered architecture (bottom up):
+
+* :mod:`repro.des` -- discrete-event simulation kernel (virtual time);
+* :mod:`repro.cluster` -- machine models (Turing, ASCI Frost);
+* :mod:`repro.fs` -- filesystem models (NFS, GPFS) over a real-byte disk;
+* :mod:`repro.vmpi` -- virtual MPI (p2p, collectives, SPMD launcher);
+* :mod:`repro.vthread` -- virtual threads (for T-Rochdf);
+* :mod:`repro.shdf` -- the HDF-stand-in scientific file format;
+* :mod:`repro.roccom` -- the component-integration framework;
+* :mod:`repro.io` -- the paper's I/O services: Rocpanda (collective,
+  active buffering), Rochdf, T-Rochdf;
+* :mod:`repro.genx` -- the mini rocket simulation workload + driver;
+* :mod:`repro.bench` -- the Table 1 / Fig 3(a) / Fig 3(b) harness.
+
+Quick start::
+
+    from repro.cluster import Machine, turing
+    from repro.genx import GENxConfig, lab_scale_motor, run_genx
+
+    machine = Machine(turing(), seed=0)
+    config = GENxConfig(
+        workload=lab_scale_motor(scale=0.05, steps=20, snapshot_interval=10),
+        io_mode="rocpanda",
+        nservers=2,
+    )
+    result = run_genx(machine, nprocs=18, config=config)
+    print(result.computation_time, result.visible_io_time)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the paper's experiments and demos without going through pytest:
+
+* ``table1``  — Table 1 (Turing computation & I/O times)
+* ``fig3a``   — Fig 3(a) (Frost apparent write throughput)
+* ``fig3b``   — Fig 3(b) (Frost SMP layout comparison)
+* ``ablations`` — the A1–A6 design-choice studies
+* ``demo``    — a quick GENx run with a timing breakdown
+
+``--quick`` shrinks everything for a fast smoke pass; ``--out DIR``
+also writes the rendered tables to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _emit(args, name: str, text: str) -> None:
+    print(text)
+    print()
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, name)
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[saved to {path}]")
+
+
+def cmd_table1(args) -> None:
+    from .bench import run_table1
+
+    result = run_table1(
+        proc_counts=(16, 32, 64),
+        nruns=2 if args.quick else args.runs,
+        scale=0.25 if args.quick else 1.0,
+    )
+    _emit(args, "table1.txt", result.render())
+
+
+def cmd_fig3a(args) -> None:
+    from .bench import run_fig3a
+
+    counts = (1, 3, 7, 15, 30) if args.quick else (1, 3, 7, 15, 30, 60, 120, 480)
+    result = run_fig3a(proc_counts=counts, nruns=1 if args.quick else args.runs,
+                       steps=2, snapshot_interval=1)
+    _emit(args, "fig3a.txt", result.render())
+
+
+def cmd_fig3b(args) -> None:
+    from .bench import run_fig3b
+
+    counts = (15, 60) if args.quick else (15, 60, 240)
+    result = run_fig3b(
+        proc_counts=counts,
+        nruns=1 if args.quick else args.runs,
+        per_client_bytes=0.25 * 1024 * 1024,
+        steps=10,
+        step_seconds=20.0,
+        snapshot_interval=5,
+    )
+    _emit(args, "fig3b.txt", result.render())
+
+
+def cmd_ablations(args) -> None:
+    from .bench import (
+        render_table,
+        run_active_buffering_ablation,
+        run_buffer_size_sweep,
+        run_client_buffering_ablation,
+        run_hdf_driver_scaling,
+        run_load_balancing_ablation,
+        run_ratio_sweep,
+    )
+
+    a1 = run_active_buffering_ablation()
+    _emit(args, "a1.txt", render_table(
+        ["mode", "visible I/O (s)"], [[k, v] for k, v in a1.items()],
+        title="A1 — active buffering on/off",
+    ))
+    a2 = run_hdf_driver_scaling()
+    rows = []
+    for driver, cells in a2.items():
+        for count, (w, r) in sorted(cells.items()):
+            rows.append([driver, count, w, r])
+    _emit(args, "a2.txt", render_table(
+        ["driver", "datasets", "write (s)", "read (s)"], rows,
+        title="A2 — HDF4 vs HDF5 scaling",
+    ))
+    a3 = run_ratio_sweep()
+    _emit(args, "a3.txt", render_table(
+        ["ratio", "visible I/O (s)", "files"],
+        [[f"{k}:1", v["visible_io"], v["files"]] for k, v in sorted(a3.items())],
+        title="A3 — client:server ratio",
+    ))
+    a4 = run_buffer_size_sweep()
+    _emit(args, "a4.txt", render_table(
+        ["buffer (x snapshot)", "visible I/O (s)", "flushes"],
+        [[k, v["visible_io"], v["overflow_flushes"]] for k, v in sorted(a4.items())],
+        title="A4 — server buffer capacity",
+    ))
+    a5 = run_client_buffering_ablation()
+    _emit(args, "a5.txt", render_table(
+        ["buffering", "visible I/O (s)"], [[k, v] for k, v in a5.items()],
+        title="A5 — client-side buffer level",
+    ))
+    a6 = run_load_balancing_ablation()
+    _emit(args, "a6.txt", render_table(
+        ["partition", "computation (s)"], [[k, v] for k, v in a6.items()],
+        title="A6 — dynamic load balancing",
+    ))
+
+
+def cmd_demo(args) -> None:
+    from .bench import render_table
+    from .cluster import Machine, turing
+    from .genx import GENxConfig, lab_scale_motor, run_genx
+
+    scale = 0.02 if args.quick else 0.1
+    workload = lab_scale_motor(
+        scale=scale, nblocks_fluid=32, nblocks_solid=16,
+        steps=40, snapshot_interval=10,
+    )
+    rows = []
+    for mode, nservers in (("rochdf", 0), ("trochdf", 0), ("rocpanda", 2)):
+        machine = Machine(turing(), seed=args.seed)
+        nprocs = 16 + nservers
+        result = run_genx(
+            machine, nprocs,
+            GENxConfig(workload=workload, io_mode=mode, nservers=nservers,
+                       prefix=f"demo_{mode}"),
+        )
+        rows.append([
+            mode, result.computation_time, result.visible_io_time,
+            result.files_created,
+        ])
+    _emit(args, "demo.txt", render_table(
+        ["I/O service", "computation (s)", "visible I/O (s)", "files"],
+        rows,
+        title="GENx demo: 16 compute processors on simulated Turing",
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Flexible and Efficient Parallel I/O for "
+            "Large-Scale Multi-component Simulations' (IPPS 2003)"
+        ),
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink workloads for a fast smoke pass")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="repetitions per configuration (default 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", metavar="DIR",
+                        help="also save rendered tables under DIR")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, help_text in (
+        ("table1", cmd_table1, "reproduce Table 1 (Turing)"),
+        ("fig3a", cmd_fig3a, "reproduce Fig 3(a) (Frost throughput)"),
+        ("fig3b", cmd_fig3b, "reproduce Fig 3(b) (Frost SMP layouts)"),
+        ("ablations", cmd_ablations, "run the A1-A6 ablation studies"),
+        ("demo", cmd_demo, "quick three-service comparison run"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=fn)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

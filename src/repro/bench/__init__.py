@@ -1,0 +1,36 @@
+"""Benchmark harness: Table 1, Fig 3(a), Fig 3(b), and ablations."""
+
+from .ablations import (
+    run_active_buffering_ablation,
+    run_buffer_size_sweep,
+    run_client_buffering_ablation,
+    run_hdf_driver_scaling,
+    run_load_balancing_ablation,
+    run_ratio_sweep,
+)
+from .experiment import bench_runs, bench_scale, repeat_runs, summarize
+from .fig3a import Fig3aResult, run_fig3a
+from .fig3b import Fig3bResult, run_fig3b
+from .report import render_series, render_table
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_fig3a",
+    "Fig3aResult",
+    "run_fig3b",
+    "Fig3bResult",
+    "run_active_buffering_ablation",
+    "run_hdf_driver_scaling",
+    "run_ratio_sweep",
+    "run_buffer_size_sweep",
+    "run_client_buffering_ablation",
+    "run_load_balancing_ablation",
+    "render_table",
+    "render_series",
+    "repeat_runs",
+    "summarize",
+    "bench_scale",
+    "bench_runs",
+]

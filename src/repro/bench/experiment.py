@@ -1,0 +1,67 @@
+"""Experiment runner: repeated seeded runs + paper-style summaries.
+
+Two repetition policies from §7:
+
+* Turing numbers are the **best of five consecutive runs** (shared,
+  unscheduled nodes -> large run-to-run variance);
+* Frost numbers are **averaged over three experiments** with 95%
+  confidence-interval error bars.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cluster.machine import Machine, MachineSpec
+from ..util.stats import Summary, best_of, mean_ci
+
+__all__ = ["repeat_runs", "summarize", "bench_scale", "bench_runs"]
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Workload scale factor for benchmarks.
+
+    ``REPRO_BENCH_SCALE`` overrides (e.g. 0.1 for a quick smoke pass).
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_runs(default: int) -> int:
+    """Repetitions per configuration (``REPRO_BENCH_RUNS`` overrides)."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def repeat_runs(
+    spec_factory: Callable[[], MachineSpec],
+    run_once: Callable[[Machine, int], Dict[str, float]],
+    nruns: int,
+    seed_base: int = 0,
+    shared_disk=None,
+) -> List[Dict[str, float]]:
+    """Run ``run_once`` on ``nruns`` fresh machines with distinct seeds.
+
+    ``run_once(machine, seed)`` returns a dict of named metrics.
+    """
+    out = []
+    for i in range(nruns):
+        machine = Machine(spec_factory(), seed=seed_base + i, disk=shared_disk)
+        out.append(run_once(machine, seed_base + i))
+    return out
+
+
+def summarize(
+    samples: Sequence[Dict[str, float]], policy: str
+) -> Dict[str, Summary]:
+    """Collapse per-run metric dicts with ``"best"`` or ``"mean_ci"``."""
+    if not samples:
+        raise ValueError("no samples")
+    if policy not in ("best", "mean_ci"):
+        raise ValueError(f"unknown policy {policy!r}")
+    keys = samples[0].keys()
+    out = {}
+    for key in keys:
+        values = [s[key] for s in samples]
+        out[key] = best_of(values) if policy == "best" else mean_ci(values)
+    return out

@@ -1,0 +1,113 @@
+"""Figure 3(b) reproduction: SMP computation time vs processor layout.
+
+Same weak-scaling test as Fig 3(a); measured quantity is the
+*computation* time under three per-node layouts (§7.2):
+
+* **16NS** — all 16 CPUs per node run compute ranks, I/O via Rochdf;
+* **15NS** — 15 compute ranks per node, one CPU left idle, Rochdf;
+* **15S**  — 15 compute ranks + one Rocpanda I/O server per node.
+
+Paper shape: with growing scale the 16NS computation time becomes
+visibly longer than both 15-per-node layouts (OS noise lands on
+compute CPUs and is amplified by per-step synchronization); 15S sits
+slightly above 15NS but well below 16NS — even though 15S does real
+I/O while 15NS does none in this measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cluster.machine import Machine
+from ..cluster.presets import frost
+from ..genx.driver import GENxConfig, run_genx
+from ..genx.workloads import scalability_cylinder
+from ..util.stats import Summary, mean_ci
+from ..util.units import MB
+from ..vmpi import placement as placement_policies
+from .report import render_series
+
+__all__ = ["Fig3bResult", "run_fig3b", "LAYOUTS"]
+
+LAYOUTS = ("16NS", "15NS", "15S")
+
+
+@dataclass
+class Fig3bResult:
+    proc_counts: List[int]
+    #: layout -> computation-time Summaries, same order as proc_counts.
+    compute_time: Dict[str, List[Summary]]
+
+    def render(self) -> str:
+        series = {}
+        for layout in LAYOUTS:
+            series[f"{layout} (s)"] = [s.value for s in self.compute_time[layout]]
+            series[f"{layout} ±"] = [s.halfwidth for s in self.compute_time[layout]]
+        return render_series(
+            "compute procs",
+            self.proc_counts,
+            series,
+            title=(
+                "Fig 3(b) — computation time vs per-node layout on Frost "
+                "(mean of N runs, 95% CI)"
+            ),
+        )
+
+    def values(self, layout: str) -> List[float]:
+        return [s.value for s in self.compute_time[layout]]
+
+
+def run_fig3b(
+    proc_counts: Sequence[int] = (15, 30, 60, 120, 240, 480),
+    nruns: int = 3,
+    per_client_bytes: float = 0.5 * MB,
+    steps: int = 20,
+    step_seconds: float = 10.0,
+    snapshot_interval: int = 10,
+    seed_base: int = 500,
+) -> Fig3bResult:
+    """Run the layout comparison (proc counts must divide by 15)."""
+    workload = scalability_cylinder(
+        per_client_bytes=per_client_bytes,
+        steps=steps,
+        snapshot_interval=snapshot_interval,
+        nominal_step_seconds=step_seconds,
+    )
+    out: Dict[str, List[Summary]] = {layout: [] for layout in LAYOUTS}
+    for nclients in proc_counts:
+        for layout in LAYOUTS:
+            samples = []
+            for i in range(nruns):
+                machine = Machine(frost(), seed=seed_base + i)
+                if layout == "16NS":
+                    config = GENxConfig(
+                        workload=workload, io_mode="rochdf", prefix="f3b"
+                    )
+                    result = run_genx(
+                        machine, nclients, config,
+                        placement=placement_policies.block,
+                    )
+                elif layout == "15NS":
+                    config = GENxConfig(
+                        workload=workload, io_mode="rochdf", prefix="f3b"
+                    )
+                    result = run_genx(
+                        machine, nclients, config,
+                        placement=placement_policies.leave_one_idle,
+                    )
+                else:  # 15S
+                    nservers = max(1, nclients // 15)
+                    config = GENxConfig(
+                        workload=workload,
+                        io_mode="rocpanda",
+                        nservers=nservers,
+                        prefix="f3b",
+                    )
+                    result = run_genx(
+                        machine, nclients + nservers, config,
+                        placement=placement_policies.block,
+                    )
+                samples.append(result.computation_time)
+            out[layout].append(mean_ci(samples))
+    return Fig3bResult(proc_counts=list(proc_counts), compute_time=out)

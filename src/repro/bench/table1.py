@@ -1,0 +1,182 @@
+"""Table 1 reproduction: computation and I/O times on the Turing cluster.
+
+"We partitioned and distributed the same set of simulation data onto
+different numbers of compute processors ... executed the simulation for
+200 time-steps and performed snapshots every 50 time-steps, resulting
+in five output phases (including the initial snapshot) ... approximately
+64 MB of output data [per snapshot]" (§7.1).  Best of five consecutive
+runs; Rocpanda uses extra dedicated servers at an 8:1 client:server
+ratio.
+
+Rows produced (matching the paper's): computation time; visible I/O
+time for Rochdf / T-Rochdf / Rocpanda; restart time for Rochdf /
+Rocpanda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.machine import Machine
+from ..cluster.presets import turing
+from ..genx.driver import GENxConfig, run_genx
+from ..genx.workloads import lab_scale_motor
+from ..util.stats import Summary
+from .experiment import summarize
+from .report import render_table
+
+__all__ = ["Table1Result", "run_table1", "CLIENT_SERVER_RATIO"]
+
+#: The paper fixes the client:server ratio at 8:1 on Turing.
+CLIENT_SERVER_RATIO = 8
+
+_PAPER = {
+    "computation": {16: 846.64, 32: 393.05, 64: 203.24},
+    "rochdf": {16: 51.58, 32: 83.28, 64: 51.19},
+    "trochdf": {16: 0.38, 32: 0.18, 64: 0.11},
+    "rocpanda": {16: 2.40, 32: 1.48, 64: 1.94},
+    "restart_rochdf": {16: 5.33, 32: 1.93, 64: 0.72},
+    "restart_rocpanda": {16: 69.9, 32: 39.2, 64: 18.2},
+}
+
+
+@dataclass
+class Table1Result:
+    proc_counts: List[int]
+    #: metric -> nprocs -> Summary
+    measured: Dict[str, Dict[int, Summary]]
+    paper: Dict[str, Dict[int, float]] = field(default_factory=lambda: _PAPER)
+
+    def value(self, metric: str, nprocs: int) -> float:
+        return self.measured[metric][nprocs].value
+
+    def render(self) -> str:
+        rows = []
+        labels = [
+            ("computation", "compu. time"),
+            ("rochdf", "visible I/O: Rochdf"),
+            ("trochdf", "visible I/O: T-Rochdf"),
+            ("rocpanda", "visible I/O: Rocpanda"),
+            ("restart_rochdf", "restart: Rochdf"),
+            ("restart_rocpanda", "restart: Rocpanda"),
+        ]
+        for key, label in labels:
+            row = [label]
+            for n in self.proc_counts:
+                row.append(self.value(key, n))
+                row.append(self.paper[key].get(n))
+            rows.append(row)
+        headers = ["metric (s)"]
+        for n in self.proc_counts:
+            headers += [f"{n}p meas", f"{n}p paper"]
+        return render_table(
+            headers,
+            rows,
+            title="Table 1 — computation and I/O times on Turing (best of N runs)",
+        )
+
+
+def _nservers(nclients: int) -> int:
+    return max(1, nclients // CLIENT_SERVER_RATIO)
+
+
+def run_table1(
+    proc_counts: Sequence[int] = (16, 32, 64),
+    nruns: int = 5,
+    scale: float = 1.0,
+    steps: int = 200,
+    snapshot_interval: int = 50,
+    seed_base: int = 100,
+) -> Table1Result:
+    """Run the full Table 1 experiment matrix."""
+    workload = lab_scale_motor(
+        scale=scale, steps=steps, snapshot_interval=snapshot_interval
+    )
+    measured: Dict[str, Dict[int, Summary]] = {k: {} for k in _PAPER}
+
+    for nclients in proc_counts:
+        samples = []
+        restart_samples = []
+        for i in range(nruns):
+            seed = seed_base + i
+            run_metrics: Dict[str, float] = {}
+            restart_metrics: Dict[str, float] = {}
+
+            # --- Rochdf (baseline, blocking individual I/O) ----------
+            m = Machine(turing(), seed=seed)
+            r_hdf = run_genx(
+                m,
+                nclients,
+                GENxConfig(workload=workload, io_mode="rochdf", prefix="t1"),
+            )
+            run_metrics["computation"] = r_hdf.computation_time
+            run_metrics["rochdf"] = r_hdf.visible_io_time
+
+            # Restart latency: re-read the last snapshot of that run.
+            m2 = Machine(turing(), seed=seed + 1000, disk=m.disk)
+            r_restart = run_genx(
+                m2,
+                nclients,
+                GENxConfig(
+                    workload=workload,
+                    io_mode="rochdf",
+                    prefix="t1r",
+                    steps=0,
+                    initial_snapshot=False,
+                    restart_step=steps,
+                    restart_prefix="t1",
+                ),
+            )
+            restart_metrics["restart_rochdf"] = r_restart.restart_time
+
+            # --- T-Rochdf (threaded individual I/O) -------------------
+            m = Machine(turing(), seed=seed)
+            r_thr = run_genx(
+                m,
+                nclients,
+                GENxConfig(workload=workload, io_mode="trochdf", prefix="t1"),
+            )
+            run_metrics["trochdf"] = r_thr.visible_io_time
+
+            # --- Rocpanda (collective; extra dedicated servers) -------
+            nservers = _nservers(nclients)
+            m = Machine(turing(), seed=seed)
+            r_panda = run_genx(
+                m,
+                nclients + nservers,
+                GENxConfig(
+                    workload=workload,
+                    io_mode="rocpanda",
+                    nservers=nservers,
+                    prefix="t1",
+                ),
+            )
+            run_metrics["rocpanda"] = r_panda.visible_io_time
+
+            m2 = Machine(turing(), seed=seed + 2000, disk=m.disk)
+            r_prestart = run_genx(
+                m2,
+                nclients + nservers,
+                GENxConfig(
+                    workload=workload,
+                    io_mode="rocpanda",
+                    nservers=nservers,
+                    prefix="t1r",
+                    steps=0,
+                    initial_snapshot=False,
+                    restart_step=steps,
+                    restart_prefix="t1",
+                ),
+            )
+            restart_metrics["restart_rocpanda"] = r_prestart.restart_time
+
+            samples.append(run_metrics)
+            restart_samples.append(restart_metrics)
+
+        summary = summarize(samples, policy="best")
+        summary.update(summarize(restart_samples, policy="best"))
+        for key, value in summary.items():
+            measured[key][nclients] = value
+
+    return Table1Result(proc_counts=list(proc_counts), measured=measured)

@@ -1,0 +1,24 @@
+"""Cluster hardware models: nodes, network, noise, machine presets."""
+
+from .machine import Machine, MachineSpec
+from .network import Network, NetworkSpec
+from .node import CPU, Node
+from .noise import ExternalLoad, NoExternalLoad, NoiseModel, NoNoise, OSNoise
+from .presets import frost, testbox, turing
+
+__all__ = [
+    "CPU",
+    "Node",
+    "Network",
+    "NetworkSpec",
+    "Machine",
+    "MachineSpec",
+    "NoiseModel",
+    "NoNoise",
+    "OSNoise",
+    "ExternalLoad",
+    "NoExternalLoad",
+    "turing",
+    "frost",
+    "testbox",
+]

@@ -1,0 +1,112 @@
+"""Interconnect model.
+
+Messages between two CPUs cost::
+
+    software_overhead + latency * scale_factor(nprocs) + nbytes / bw
+
+where ``bw`` is the intra-node memory-bus bandwidth when both endpoints
+share a node (the effect behind the 1→15-client throughput rise in
+Fig 3(a)) and the link bandwidth otherwise.  Each node's NIC admits a
+bounded number of concurrent incoming transfers; additional transfers
+queue — this produces the contention seen when many clients target one
+I/O server.
+
+``scale_factor`` models the paper's observation that Turing's message
+passing layer "does not scale well" (§7.1): per-message cost grows with
+the job size.  On Frost it is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..des import Environment, Resource
+from ..util.units import MB, USEC
+from .node import Node
+
+__all__ = ["NetworkSpec", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static parameters of an interconnect."""
+
+    #: One-way small-message latency (seconds).
+    latency: float = 60 * USEC
+    #: Inter-node point-to-point bandwidth (bytes/s).
+    inter_bw: float = 120 * MB
+    #: Intra-node (shared-memory) bandwidth (bytes/s).
+    intra_bw: float = 350 * MB
+    #: CPU-side software overhead charged at each endpoint per message.
+    sw_overhead: float = 15 * USEC
+    #: Max concurrent incoming transfers a NIC serves; more queue up.
+    nic_streams: int = 1
+    #: Per-message latency growth per process in the job: the effective
+    #: latency is ``latency * (1 + scale_alpha * nprocs)``.
+    scale_alpha: float = 0.0
+    #: Messages up to this size use the eager protocol (no handshake).
+    eager_threshold: int = 16 * 1024
+
+
+class Network:
+    """Runtime network instance bound to a DES environment."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec, nodes: List[Node], nprocs: int):
+        self.env = env
+        self.spec = spec
+        self.nodes = nodes
+        self.nprocs = nprocs
+        self._nics: Dict[int, Resource] = {
+            node.index: Resource(env, capacity=spec.nic_streams) for node in nodes
+        }
+        #: Total payload bytes moved (diagnostics).
+        self.bytes_transferred = 0
+        self.messages = 0
+
+    # -- cost helpers ---------------------------------------------------
+    def effective_latency(self) -> float:
+        return self.spec.latency * (1.0 + self.spec.scale_alpha * self.nprocs)
+
+    def bandwidth(self, src: Node, dst: Node) -> float:
+        return self.spec.intra_bw if src.index == dst.index else self.spec.inter_bw
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self.spec.eager_threshold
+
+    def transfer_time(self, src: Node, dst: Node, nbytes: int) -> float:
+        """Pure wire time, excluding NIC queueing and endpoint overhead."""
+        return self.effective_latency() + nbytes / self.bandwidth(src, dst)
+
+    # -- operations -----------------------------------------------------
+    def transfer(self, src: Node, dst: Node, nbytes: int):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Intra-node transfers bypass the NIC (memory copy); inter-node
+        transfers hold one of the destination NIC's stream slots for
+        the duration, so concurrent senders to one node queue up.
+        External load on either node (shared Turing nodes) slows the
+        transfer proportionally.
+        """
+        load = max(src.external_load, dst.external_load)
+        duration = self.transfer_time(src, dst, nbytes) * load
+        self.messages += 1
+        self.bytes_transferred += nbytes
+        if src.index == dst.index:
+            yield self.env.timeout(duration)
+            return
+        nic = self._nics[dst.index]
+        req = nic.request()
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            nic.release(req)
+
+    def control_message(self, src: Node, dst: Node):
+        """Generator: a zero-payload control message (handshake leg).
+
+        Control messages do not occupy NIC stream slots.
+        """
+        load = max(src.external_load, dst.external_load)
+        yield self.env.timeout(self.effective_latency() * load)

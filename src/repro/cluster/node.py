@@ -1,0 +1,97 @@
+"""Compute nodes and CPUs.
+
+A :class:`Node` owns a fixed set of :class:`CPU` slots.  The SPMD
+launcher assigns each MPI rank to one CPU ("occupies" it); dedicated
+I/O server ranks mark their CPU with role ``"server"``, which matters
+for the OS-noise model (a server CPU is mostly idle — blocked in probe
+— and therefore absorbs operating-system background work, the effect
+the paper observes on Frost in §4.1 / Fig 3(b)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["CPU", "Node"]
+
+#: CPU roles.
+ROLE_FREE = "free"
+ROLE_COMPUTE = "compute"
+ROLE_SERVER = "server"
+
+
+class CPU:
+    """One processor slot on a node."""
+
+    def __init__(self, node: "Node", index: int):
+        self.node = node
+        self.index = index
+        self.role: str = ROLE_FREE
+        #: Global rank occupying this CPU, if any.
+        self.rank: Optional[int] = None
+        #: Fraction of time a server CPU is busy with its own work
+        #: (receiving/writing); the rest absorbs OS noise.  Maintained
+        #: by the noise model / server library.
+        self.server_busy_fraction: float = 0.15
+
+    @property
+    def occupied(self) -> bool:
+        return self.role != ROLE_FREE
+
+    def assign(self, rank: int, role: str) -> None:
+        if self.occupied:
+            raise RuntimeError(
+                f"CPU {self.node.index}.{self.index} already occupied by rank {self.rank}"
+            )
+        if role not in (ROLE_COMPUTE, ROLE_SERVER):
+            raise ValueError(f"bad role {role!r}")
+        self.role = role
+        self.rank = rank
+
+    def __repr__(self) -> str:
+        return f"<CPU n{self.node.index}c{self.index} {self.role} rank={self.rank}>"
+
+
+class Node:
+    """An SMP node: ``ncpus`` CPUs sharing memory and one NIC."""
+
+    def __init__(self, index: int, ncpus: int, mem_bytes: float, cpu_speed: float = 1.0):
+        if ncpus <= 0:
+            raise ValueError("ncpus must be > 0")
+        self.index = index
+        self.cpus: List[CPU] = [CPU(self, i) for i in range(ncpus)]
+        self.mem_bytes = mem_bytes
+        #: Relative compute speed multiplier (1.0 = nominal).
+        self.cpu_speed = cpu_speed
+        #: Per-run external slowdown factor (shared Turing nodes); set
+        #: by the machine's interference model, 1.0 = dedicated node.
+        self.external_load = 1.0
+
+    @property
+    def ncpus(self) -> int:
+        return len(self.cpus)
+
+    def free_cpus(self) -> List[CPU]:
+        return [c for c in self.cpus if not c.occupied]
+
+    def compute_cpus(self) -> List[CPU]:
+        return [c for c in self.cpus if c.role == ROLE_COMPUTE]
+
+    def server_cpus(self) -> List[CPU]:
+        return [c for c in self.cpus if c.role == ROLE_SERVER]
+
+    def noise_absorbing_capacity(self) -> float:
+        """How much background OS work this node can hide from compute.
+
+        Each fully idle CPU absorbs 1.0 CPU's worth; each server CPU
+        absorbs its idle fraction.  (§4.1: "many operating system
+        related tasks go to the server processor automatically, where
+        the CPU is mostly idle".)
+        """
+        cap = float(len(self.free_cpus()))
+        for cpu in self.server_cpus():
+            cap += 1.0 - cpu.server_busy_fraction
+        return cap
+
+    def __repr__(self) -> str:
+        return f"<Node {self.index}: {self.ncpus} cpus>"

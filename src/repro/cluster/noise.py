@@ -1,0 +1,107 @@
+"""Operating-system noise and external-load interference models.
+
+Two distinct phenomena from the paper:
+
+* **OS noise (Frost, Fig 3(b))** — AIX daemons and kernel tasks consume
+  a small fraction of a node's CPU time.  If the node has an idle CPU
+  (the "15NS" configuration) or a mostly-idle I/O server CPU ("15S"),
+  the noise runs there and compute is barely affected.  If all 16 CPUs
+  run compute ranks ("16NS"), the noise preempts compute work, and
+  because ranks synchronize every timestep the *slowest* rank sets the
+  pace — so the expected penalty grows with the number of nodes
+  (classic noise amplification).
+
+* **External load (Turing, §7.1)** — Turing has no job scheduler and
+  nodes are shared with other users' jobs; run-to-run variance is large
+  and the paper reports best-of-five.  We model a per-node slowdown
+  factor drawn per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .node import Node
+
+__all__ = ["NoiseModel", "NoNoise", "OSNoise", "ExternalLoad", "NoExternalLoad"]
+
+
+class NoiseModel:
+    """Interface: extra time added to a compute burst on a given CPU."""
+
+    def compute_penalty(self, node: Node, duration: float, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """Perfectly quiet machine."""
+
+    def compute_penalty(self, node: Node, duration: float, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+class OSNoise(NoiseModel):
+    """Background OS work of ``duty`` CPUs-worth per node.
+
+    For a compute burst of length ``d`` on a node whose absorbing
+    capacity (idle + mostly-idle server CPUs) is ``a``:
+
+    * unabsorbed duty ``u = max(0, duty - a * absorb_efficiency)`` is
+      spread over the node's compute CPUs, hitting each burst with a
+      random (Gamma-distributed, mean ``u/ncompute``) share — the
+      randomness is what makes the max-over-ranks grow with scale;
+    * even fully absorbed noise leaves a small residual ``leak`` on
+      compute CPUs (cache pollution, interrupts).
+    """
+
+    def __init__(
+        self,
+        duty: float = 0.045,
+        leak: float = 0.002,
+        gamma_shape: float = 0.6,
+    ):
+        if not 0 <= duty < 1:
+            raise ValueError("duty must be in [0, 1)")
+        self.duty = duty
+        self.leak = leak
+        self.gamma_shape = gamma_shape
+
+    def compute_penalty(self, node: Node, duration: float, rng: np.random.Generator) -> float:
+        ncompute = max(1, len(node.compute_cpus()))
+        absorbed = min(self.duty, node.noise_absorbing_capacity())
+        unabsorbed = self.duty - absorbed
+        mean_share = (unabsorbed / ncompute + self.leak) * duration
+        if mean_share <= 0:
+            return 0.0
+        # Gamma with mean `mean_share`: shape k, scale mean/k.
+        return float(rng.gamma(self.gamma_shape, mean_share / self.gamma_shape))
+
+
+class ExternalLoad:
+    """Per-run node slowdown from other users' jobs (shared nodes)."""
+
+    def __init__(self, mean_extra: float = 0.35, sigma: float = 0.6, p_loaded: float = 0.55):
+        self.mean_extra = mean_extra
+        self.sigma = sigma
+        self.p_loaded = p_loaded
+
+    def sample_factor(self, rng: np.random.Generator) -> float:
+        """Multiplicative slowdown for one node in one run (>= 1)."""
+        if rng.random() >= self.p_loaded:
+            return 1.0
+        extra = rng.lognormal(mean=np.log(self.mean_extra), sigma=self.sigma)
+        return 1.0 + float(extra)
+
+    def apply(self, nodes, rng: np.random.Generator) -> None:
+        for node in nodes:
+            node.external_load = self.sample_factor(rng)
+
+
+class NoExternalLoad(ExternalLoad):
+    """Dedicated nodes (scheduled production machine)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def sample_factor(self, rng: np.random.Generator) -> float:
+        return 1.0

@@ -1,0 +1,367 @@
+"""Core of the discrete-event simulation kernel.
+
+This is a compact, dependency-free kernel in the style of SimPy:
+*processes* are Python generators that ``yield`` :class:`Event` objects
+and are resumed when those events fire.  Simulated time only advances
+between events; all computation between yields happens at a single
+instant of virtual time.
+
+The kernel is deterministic: events scheduled for the same time fire in
+(priority, insertion-order) order, so repeated runs of the same program
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for internal bookkeeping events (fire first).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+#: Sentinel for "event has no value yet".
+_PENDING = object()
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*, becomes *triggered* when it gets
+    scheduled with a value (or an exception), and *processed* after its
+    callbacks have run.  Processes wait for events by yielding them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set when a failed event's exception was delivered somewhere.
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state/value of ``event``.
+
+        Useful as a callback to chain events.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition ---------------------------------------------------
+    def __and__(self, other: "Event") -> "Event":
+        from .events import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        from .events import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout({self._delay}) at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a new :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process: wraps a generator yielding events.
+
+    The process object is itself an event that fires (with the
+    generator's return value) when the generator terminates.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting for (None when
+        #: the process is active or terminated).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into this process.
+
+        The process is rescheduled immediately; the event it was
+        waiting for is abandoned (but not cancelled for other waiters).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value of ``event``."""
+        env = self.env
+        # If we were interrupted while waiting for another event, stop
+        # listening on that event.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, None)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                exc_t = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = Event(env)
+                event._ok = False
+                event._value = exc_t
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process({self.name}) at {id(self):#x}>"
+
+
+class Environment:
+    """Execution environment of a simulation.
+
+    Holds the clock and the event queue, and provides factory helpers
+    for the common event types.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None between events)."""
+        return self._active_proc
+
+    # -- factories -----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from .events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from .events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to fire after ``delay`` time units."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events are left.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (e.g. condition shortcut).
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failed event nobody waited on: crash the simulation so
+            # errors in detached processes are never silently dropped.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * number — run until simulated time reaches it.
+        * :class:`Event` — run until the event fires; returns its value.
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until.value
+                until.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) must be >= now ({self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(_stop_simulation)
+                self.schedule(stop, priority=URGENT, delay=at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "ran out of events before the awaited event fired"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    raise event._value

@@ -1,0 +1,118 @@
+"""Composite (condition) events: AllOf / AnyOf."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .core import Event, URGENT
+
+__all__ = ["Condition", "AllOf", "AnyOf", "ConditionValue"]
+
+
+class ConditionValue:
+    """Ordered mapping from events to their values.
+
+    Returned as the value of a fired :class:`Condition`.  Only events
+    that have fired appear.
+    """
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event):
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return list(self.events)
+
+    def values(self):
+        return [e._value for e in self.events]
+
+    def items(self):
+        return [(e, e._value) for e in self.events]
+
+    def todict(self):
+        return dict(self.items())
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Fires when ``evaluate(events, n_fired)`` becomes true.
+
+    Fails immediately if any constituent event fails.
+    """
+
+    def __init__(self, env, evaluate: Callable, events: List[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+
+        if not self._events or self._evaluate(self._events, 0):
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _build_value(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if event.callbacks is None and event._ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self._count += 1
+            if self._evaluate(self._events, self._count):
+                self.succeed(self._build_value())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when *all* of ``events`` have fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when *any* of ``events`` has fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_event, events)

@@ -1,0 +1,152 @@
+"""Synchronization primitives built on the DES kernel.
+
+These mirror the pthread primitives T-Rochdf relies on (mutex, condition
+variable) plus a semaphore and a reusable barrier for SPMD code.
+
+All primitives follow the generator-process convention: methods that may
+block return an event (or a generator to delegate to with ``yield
+from``), never block the Python interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Mutex", "CondVar", "Semaphore", "CyclicBarrier"]
+
+
+class Mutex:
+    """A non-reentrant mutual-exclusion lock.
+
+    Usage inside a process::
+
+        yield mutex.acquire()
+        ...critical section...
+        mutex.release()
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._locked = False
+        self._waiters: List[Event] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        event = Event(self.env)
+        if not self._locked:
+            self._locked = True
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError("release of an unlocked Mutex")
+        if self._waiters:
+            # Hand the lock directly to the next waiter (no unlock gap).
+            self._waiters.pop(0).succeed()
+        else:
+            self._locked = False
+
+
+class CondVar:
+    """A condition variable associated with a :class:`Mutex`.
+
+    ``wait()`` must be called with the mutex held; it atomically
+    releases the mutex and suspends, and re-acquires the mutex before
+    returning.  Use with ``yield from``::
+
+        yield mutex.acquire()
+        while not predicate():
+            yield from cond.wait()
+        ...
+        mutex.release()
+    """
+
+    def __init__(self, env: Environment, mutex: Mutex):
+        self.env = env
+        self.mutex = mutex
+        self._waiters: List[Event] = []
+
+    def wait(self):
+        """Generator: release mutex, sleep until notified, re-acquire."""
+        if not self.mutex.locked:
+            raise RuntimeError("CondVar.wait() without holding the mutex")
+        event = Event(self.env)
+        self._waiters.append(event)
+        self.mutex.release()
+        yield event
+        yield self.mutex.acquire()
+
+    def notify(self, n: int = 1) -> None:
+        """Wake up to ``n`` waiters (mutex need not be held, as in POSIX)."""
+        for _ in range(min(n, len(self._waiters))):
+            self._waiters.pop(0).succeed()
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class Semaphore:
+    """A counting semaphore."""
+
+    def __init__(self, env: Environment, value: int = 1):
+        if value < 0:
+            raise ValueError("initial value must be >= 0")
+        self.env = env
+        self._value = value
+        self._waiters: List[Event] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        event = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._value += 1
+
+
+class CyclicBarrier:
+    """A reusable barrier for ``parties`` processes.
+
+    Each participant does ``yield barrier.wait()``; all are released
+    when the last one arrives.  The barrier resets automatically for
+    the next round.
+    """
+
+    def __init__(self, env: Environment, parties: int):
+        if parties <= 0:
+            raise ValueError("parties must be > 0")
+        self.env = env
+        self.parties = parties
+        self._arrived = 0
+        self._gate = Event(env)
+        #: Number of completed rounds (useful for tests/diagnostics).
+        self.generation = 0
+
+    def wait(self) -> Event:
+        self._arrived += 1
+        gate = self._gate
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.generation += 1
+            self._gate = Event(self.env)
+            gate.succeed(self.generation)
+        return gate

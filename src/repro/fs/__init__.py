@@ -1,0 +1,22 @@
+"""Filesystem substrate: real-byte virtual disk + timing models."""
+
+from .models import (
+    FileSystemModel,
+    FSMetrics,
+    GPFSModel,
+    LocalFSModel,
+    NFSModel,
+)
+from .vfs import FileExists, FileNotFound, VirtualDisk, VirtualFile
+
+__all__ = [
+    "VirtualDisk",
+    "VirtualFile",
+    "FileNotFound",
+    "FileExists",
+    "FileSystemModel",
+    "FSMetrics",
+    "NFSModel",
+    "GPFSModel",
+    "LocalFSModel",
+]

@@ -1,0 +1,258 @@
+"""Filesystem timing models.
+
+These model *when* I/O operations complete; the bytes themselves live in
+the :class:`~repro.fs.vfs.VirtualDisk`.  All operations are generators
+to be driven by a DES process (``yield from fs.write(...)``).
+
+Three models, matching the platforms in the paper:
+
+* :class:`NFSModel` — Turing's shared filesystem: a single NFS server.
+  Writes are serialized through the server and *degrade further* under
+  concurrent write demand (seek/locking interference); concurrent reads
+  are tolerated much better (§7.1: "the NFS-mounted shared file system
+  shows much better tolerance to concurrent reads than to concurrent
+  writes").
+* :class:`GPFSModel` — Frost's parallel filesystem: N server nodes,
+  files striped round-robin; each server serves its queue FIFO.
+* :class:`LocalFSModel` — an independent disk per node (no cross-node
+  contention), for generality and unit testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..des import Environment, Resource
+from ..util.units import MB, MSEC
+from .vfs import VirtualDisk
+
+__all__ = [
+    "FSMetrics",
+    "FileSystemModel",
+    "NFSModel",
+    "GPFSModel",
+    "LocalFSModel",
+]
+
+
+@dataclass
+class FSMetrics:
+    """Aggregate counters maintained by every filesystem model."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    read_ops: int = 0
+    meta_ops: int = 0
+    #: Total time spent inside write service (summed across streams).
+    write_busy_time: float = 0.0
+    read_busy_time: float = 0.0
+
+
+class FileSystemModel:
+    """Base class: open/meta, write, read timing operations.
+
+    Subclasses override the three ``_service_*`` hooks to model their
+    contention behaviour.  The public API is uniform:
+
+    * ``yield from fs.meta_op(node)`` — open/close/create overhead
+    * ``yield from fs.write(nbytes, node)`` — charge a write
+    * ``yield from fs.read(nbytes, node)`` — charge a read
+
+    ``node`` identifies the calling node (used by per-node local disks;
+    shared filesystems ignore it).
+    """
+
+    def __init__(self, env: Environment, disk: Optional[VirtualDisk] = None):
+        self.env = env
+        self.disk = disk if disk is not None else VirtualDisk()
+        self.metrics = FSMetrics()
+
+    # -- public operations ----------------------------------------------
+    def meta_op(self, node=None):
+        """Open/close/create: small fixed-cost metadata round trip."""
+        self.metrics.meta_ops += 1
+        yield from self._service_meta(node)
+
+    def write(self, nbytes: int, node=None):
+        """Charge the time for writing ``nbytes`` through this filesystem."""
+        if nbytes < 0:
+            raise ValueError("negative write size")
+        self.metrics.write_ops += 1
+        self.metrics.bytes_written += nbytes
+        t0 = self.env.now
+        yield from self._service_write(nbytes, node)
+        self.metrics.write_busy_time += self.env.now - t0
+
+    def read(self, nbytes: int, node=None):
+        """Charge the time for reading ``nbytes`` through this filesystem."""
+        if nbytes < 0:
+            raise ValueError("negative read size")
+        self.metrics.read_ops += 1
+        self.metrics.bytes_read += nbytes
+        t0 = self.env.now
+        yield from self._service_read(nbytes, node)
+        self.metrics.read_busy_time += self.env.now - t0
+
+    # -- hooks -----------------------------------------------------------
+    def _service_meta(self, node):
+        raise NotImplementedError
+
+    def _service_write(self, nbytes: int, node):
+        raise NotImplementedError
+
+    def _service_read(self, nbytes: int, node):
+        raise NotImplementedError
+
+
+class NFSModel(FileSystemModel):
+    """Single-server NFS as on the Turing cluster.
+
+    Writes: one service slot; effective bandwidth shrinks as concurrent
+    write demand grows, ``bw / (1 + penalty * (demand - 1))``, modeling
+    server-side interference between independent write streams.
+
+    Reads: ``read_slots`` concurrent streams at full per-stream
+    bandwidth (server read cache + no write locking).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: Optional[VirtualDisk] = None,
+        write_bw: float = 30 * MB,
+        read_bw: float = 25 * MB,
+        read_slots: int = 8,
+        meta_latency: float = 1.5 * MSEC,
+        write_penalty: float = 0.12,
+        max_penalty_factor: float = 6.0,
+    ):
+        super().__init__(env, disk)
+        self.write_bw = write_bw
+        self.read_bw = read_bw
+        self.meta_latency = meta_latency
+        self.write_penalty = write_penalty
+        self.max_penalty_factor = max_penalty_factor
+        self._write_server = Resource(env, capacity=1)
+        self._read_server = Resource(env, capacity=read_slots)
+        #: Current number of in-flight write requests (active + queued).
+        self._write_demand = 0
+
+    def _service_meta(self, node):
+        yield self.env.timeout(self.meta_latency)
+
+    def _service_write(self, nbytes: int, node):
+        self._write_demand += 1
+        req = self._write_server.request()
+        yield req
+        try:
+            factor = 1.0 + self.write_penalty * (self._write_demand - 1)
+            factor = min(factor, self.max_penalty_factor)
+            yield self.env.timeout(self.meta_latency + nbytes / (self.write_bw / factor))
+        finally:
+            self._write_demand -= 1
+            self._write_server.release(req)
+
+    def _service_read(self, nbytes: int, node):
+        req = self._read_server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.meta_latency + nbytes / self.read_bw)
+        finally:
+            self._read_server.release(req)
+
+
+class GPFSModel(FileSystemModel):
+    """Striped parallel filesystem as on ASCI Frost (2 GPFS server nodes).
+
+    Each call is assigned to a server round-robin; each server has
+    ``slots`` concurrent service slots at ``server_bw`` aggregate
+    bandwidth split evenly across its active streams (approximated by
+    charging ``nbytes / (server_bw / slots)`` when fully loaded is
+    avoided — instead we serialize per slot at full bandwidth, which
+    yields the same aggregate rate with FIFO fairness).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: Optional[VirtualDisk] = None,
+        nservers: int = 2,
+        server_bw: float = 60 * MB,
+        slots_per_server: int = 1,
+        meta_latency: float = 0.8 * MSEC,
+    ):
+        super().__init__(env, disk)
+        if nservers <= 0:
+            raise ValueError("nservers must be > 0")
+        self.nservers = nservers
+        self.server_bw = server_bw
+        self.meta_latency = meta_latency
+        self._servers = [
+            Resource(env, capacity=slots_per_server) for _ in range(nservers)
+        ]
+        self._next = 0
+
+    def _pick_server(self) -> Resource:
+        server = self._servers[self._next % self.nservers]
+        self._next += 1
+        return server
+
+    def _service_meta(self, node):
+        yield self.env.timeout(self.meta_latency)
+
+    def _service_write(self, nbytes: int, node):
+        server = self._pick_server()
+        req = server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.meta_latency + nbytes / self.server_bw)
+        finally:
+            server.release(req)
+
+    def _service_read(self, nbytes: int, node):
+        server = self._pick_server()
+        req = server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.meta_latency + nbytes / self.server_bw)
+        finally:
+            server.release(req)
+
+
+class LocalFSModel(FileSystemModel):
+    """Independent disk per node: no cross-node contention."""
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: Optional[VirtualDisk] = None,
+        bw: float = 40 * MB,
+        meta_latency: float = 0.3 * MSEC,
+    ):
+        super().__init__(env, disk)
+        self.bw = bw
+        self.meta_latency = meta_latency
+        self._per_node: Dict[object, Resource] = {}
+
+    def _node_disk(self, node) -> Resource:
+        key = node if node is not None else "_shared"
+        if key not in self._per_node:
+            self._per_node[key] = Resource(self.env, capacity=1)
+        return self._per_node[key]
+
+    def _service_meta(self, node):
+        yield self.env.timeout(self.meta_latency)
+
+    def _service_write(self, nbytes: int, node):
+        disk = self._node_disk(node)
+        req = disk.request()
+        yield req
+        try:
+            yield self.env.timeout(self.meta_latency + nbytes / self.bw)
+        finally:
+            disk.release(req)
+
+    def _service_read(self, nbytes: int, node):
+        yield from self._service_write(nbytes, node)

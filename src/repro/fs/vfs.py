@@ -1,0 +1,130 @@
+"""Virtual disk: real bytes behind the simulated filesystems.
+
+The timing of I/O operations is modeled by the filesystem models in
+:mod:`repro.fs.models`; the *content* lives here.  Keeping real bytes
+means snapshot/restart round-trips are bit-exact and testable, and a
+virtual disk can be persisted to (or loaded from) a real directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["VirtualFile", "VirtualDisk", "FileNotFound", "FileExists"]
+
+
+class FileNotFound(KeyError):
+    """Raised when opening a path that does not exist on the disk."""
+
+
+class FileExists(KeyError):
+    """Raised when exclusively creating a path that already exists."""
+
+
+class VirtualFile:
+    """A byte container with append/at-offset write and ranged read."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._data = bytearray()
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def append(self, data: bytes) -> int:
+        """Append ``data``; returns the offset it was written at."""
+        offset = len(self._data)
+        self._data.extend(data)
+        return offset
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise ValueError("negative offset")
+        end = offset + len(data)
+        if end > len(self._data):
+            self._data.extend(b"\x00" * (end - len(self._data)))
+        self._data[offset:end] = data
+
+    def read(self, offset: int = 0, nbytes: Optional[int] = None) -> bytes:
+        if nbytes is None:
+            return bytes(self._data[offset:])
+        return bytes(self._data[offset : offset + nbytes])
+
+    def truncate(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return f"<VirtualFile {self.path!r} ({self.size} bytes)>"
+
+
+class VirtualDisk:
+    """A flat namespace of :class:`VirtualFile` objects."""
+
+    def __init__(self):
+        self._files: Dict[str, VirtualFile] = {}
+
+    def create(self, path: str, exist_ok: bool = False) -> VirtualFile:
+        if path in self._files:
+            if not exist_ok:
+                raise FileExists(path)
+            return self._files[path]
+        f = VirtualFile(path)
+        self._files[path] = f
+        return f
+
+    def open(self, path: str) -> VirtualFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def unlink(self, path: str) -> None:
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    @property
+    def nfiles(self) -> int:
+        return len(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())
+
+    # -- persistence to a real directory -------------------------------
+    def persist(self, directory: str) -> List[str]:
+        """Write all virtual files under ``directory`` on the real disk.
+
+        Path separators in virtual paths become subdirectories.
+        Returns the list of real paths written.
+        """
+        written = []
+        for path, vfile in sorted(self._files.items()):
+            real = os.path.join(directory, path.lstrip("/"))
+            os.makedirs(os.path.dirname(real) or ".", exist_ok=True)
+            with open(real, "wb") as fh:
+                fh.write(vfile.read())
+            written.append(real)
+        return written
+
+    @classmethod
+    def load(cls, directory: str) -> "VirtualDisk":
+        """Build a virtual disk from every regular file under ``directory``."""
+        disk = cls()
+        for root, _dirs, names in os.walk(directory):
+            for name in names:
+                real = os.path.join(root, name)
+                rel = os.path.relpath(real, directory)
+                vf = disk.create(rel)
+                with open(real, "rb") as fh:
+                    vf.append(fh.read())
+        return disk

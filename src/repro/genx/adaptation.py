@@ -1,0 +1,137 @@
+"""Adaptive mesh change driven by propellant regression (§3.2).
+
+"These mesh blocks change as the propellant burns in the simulation,
+requiring adaptive refinement over time."  As the burn front advances,
+solid propellant is consumed — solid blocks shrink — and the gas
+chamber grows — fluid blocks gain cells.
+
+The I/O architecture was designed so this needs **zero** interaction
+with the I/O layer: panes are re-sized in place and the next collective
+output simply collects the current arrays ("the mesh blocks can expand
+or shrink over time ... and the simulation developers need not to
+redefine the data distribution for I/O", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..roccom.attribute import LOC_ELEMENT, LOC_NODE
+from ..roccom.registry import Roccom
+
+__all__ = ["MeshAdaptor", "resize_block"]
+
+
+def resize_block(com: Roccom, module, block, new_nnodes: int, new_nelems: int) -> None:
+    """Resize one mesh block in place, preserving existing values.
+
+    Arrays grow by repeating trailing entries (new cells inherit the
+    state at the burn front) and shrink by truncation (consumed cells
+    vanish).  The Roccom pane and the module's cell accounting stay
+    consistent.
+    """
+    if new_nnodes <= 0 or new_nelems <= 0:
+        raise ValueError("blocks must keep at least one node and element")
+    window = com.window(module.window_name)
+    pane = window.pane(block.block_id)
+    old = {}
+    for name in window.attribute_names():
+        spec = window.attribute(name)
+        if spec.location in (LOC_NODE, LOC_ELEMENT) and window.has_array(
+            name, block.block_id
+        ):
+            old[name] = window.get_array(name, block.block_id)
+    pane.resize(nnodes=new_nnodes, nelems=new_nelems)
+    for name, array in old.items():
+        spec = window.attribute(name)
+        n = new_nnodes if spec.location == LOC_NODE else new_nelems
+        if array.ndim == 1:
+            resized = np.resize(array, (n,))
+        else:
+            resized = np.resize(array, (n,) + array.shape[1:])
+        if name == "conn":
+            resized = resized % max(1, new_nnodes)
+        window.set_array(name, block.block_id, resized)
+    module._total_cells += new_nelems - block.conn.shape[0]
+    block.coords = window.get_array("coords", block.block_id)
+    block.conn = window.get_array("conn", block.block_id)
+    block.spec = type(block.spec)(
+        block_id=block.spec.block_id,
+        kind=block.spec.kind,
+        nnodes=new_nnodes,
+        nelems=new_nelems,
+        theta0=block.spec.theta0,
+        z0=block.spec.z0,
+    )
+
+
+@dataclass
+class AdaptationStats:
+    passes: int = 0
+    solid_cells_removed: int = 0
+    fluid_cells_added: int = 0
+
+
+class MeshAdaptor:
+    """Regression-driven block resizing, run as a Rocman per-step hook."""
+
+    def __init__(
+        self,
+        fluid,
+        solid,
+        burn,
+        interval: int = 10,
+        regression_threshold: float = 1e-7,
+        change_fraction: float = 0.05,
+        min_cells: int = 4,
+    ):
+        self.fluid = fluid
+        self.solid = solid
+        self.burn = burn
+        self.interval = interval
+        self.regression_threshold = regression_threshold
+        self.change_fraction = change_fraction
+        self.min_cells = min_cells
+        self.stats = AdaptationStats()
+        self._consumed: Dict[int, float] = {}
+
+    def hook(self, ctx, com: Roccom, comm, step: int):
+        """Generator: Rocman per-step hook (local work only)."""
+        if step % self.interval:
+            return
+        burn_window = com.window(self.burn.window_name)
+        total_regression = 0.0
+        for bblock in self.burn.blocks:
+            dist = float(
+                burn_window.get_array("burn_distance", bblock.block_id).mean()
+            )
+            already = self._consumed.get(bblock.block_id, 0.0)
+            if dist - already < self.regression_threshold:
+                continue
+            self._consumed[bblock.block_id] = dist
+            total_regression += dist - already
+        if total_regression <= 0:
+            return
+        self.stats.passes += 1
+
+        # Shrink solid blocks; grow fluid blocks by the same share.
+        for block in self.solid.blocks:
+            ne = block.conn.shape[0]
+            removed = max(1, int(ne * self.change_fraction))
+            new_ne = max(self.min_cells, ne - removed)
+            if new_ne < ne:
+                new_nn = max(self.min_cells, int(block.coords.shape[0] * new_ne / ne))
+                resize_block(com, self.solid, block, new_nn, new_ne)
+                self.stats.solid_cells_removed += ne - new_ne
+        for block in self.fluid.blocks:
+            ne = block.conn.shape[0]
+            added = max(1, int(ne * self.change_fraction))
+            new_nn = int(block.coords.shape[0] * (ne + added) / ne)
+            resize_block(com, self.fluid, block, max(new_nn, 1), ne + added)
+            self.stats.fluid_cells_added += added
+        # Re-meshing costs compute time proportional to touched cells.
+        touched = self.fluid.total_cells + self.solid.total_cells
+        yield from ctx.compute(2e-6 * touched)

@@ -1,0 +1,138 @@
+"""Mesh blocks: the pre-partitioned pieces of the simulation object.
+
+"The simulation object is pre-partitioned into a large number of mesh
+blocks and each processor is assigned a number of such blocks.  For the
+same material (e.g., solid or fluid), each block has similar attributes
+and data organization, but can have different sizes." (§3.2)
+
+We generate two families, mirroring GENx's solvers:
+
+* **structured** blocks (Rocflo-style): logical (ni, nj, nk) bricks of
+  a cylindrical rocket chamber section;
+* **unstructured** blocks (Rocflu/Rocfrac-style): tetrahedral patches
+  with explicit connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BlockSpec", "MeshBlock", "build_block", "cylinder_blocks"]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Size/placement descriptor of one mesh block (cheap to ship around)."""
+
+    block_id: int
+    kind: str  # "structured" | "unstructured"
+    nnodes: int
+    nelems: int
+    #: Angular/axial position of the block in the rocket (for geometry).
+    theta0: float = 0.0
+    z0: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("structured", "unstructured"):
+            raise ValueError(f"bad block kind {self.kind!r}")
+        if self.nnodes <= 0 or self.nelems <= 0:
+            raise ValueError("block must have positive sizes")
+
+    @property
+    def ncells(self) -> int:
+        return self.nelems
+
+
+class MeshBlock:
+    """A realized mesh block: coordinates + connectivity."""
+
+    def __init__(self, spec: BlockSpec, coords: np.ndarray, conn: np.ndarray):
+        self.spec = spec
+        self.coords = coords  # (nnodes, 3) float64
+        self.conn = conn  # (nelems, nodes_per_elem) int64
+
+    @property
+    def block_id(self) -> int:
+        return self.spec.block_id
+
+    @property
+    def nnodes(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def nelems(self) -> int:
+        return self.conn.shape[0]
+
+
+def build_block(spec: BlockSpec, rng: np.random.Generator) -> MeshBlock:
+    """Generate geometry for a block spec.
+
+    Structured blocks get a regular cylindrical-shell lattice;
+    unstructured blocks get jittered points with synthetic tet
+    connectivity.  Coordinates are deterministic given the RNG state.
+    """
+    n = spec.nnodes
+    if spec.kind == "structured":
+        # A thin cylindrical shell patch: nodes on a (r, theta, z) grid.
+        side = max(2, int(round(n ** (1.0 / 3.0))))
+        r = np.linspace(0.2, 0.5, side)
+        theta = spec.theta0 + np.linspace(0.0, np.pi / 8, side)
+        z = spec.z0 + np.linspace(0.0, 0.3, max(2, n // (side * side)))
+        rr, tt, zz = np.meshgrid(r, theta, z, indexing="ij")
+        pts = np.stack(
+            [rr.ravel() * np.cos(tt.ravel()), rr.ravel() * np.sin(tt.ravel()), zz.ravel()],
+            axis=1,
+        )
+        if pts.shape[0] < n:  # pad deterministically
+            extra = pts[: n - pts.shape[0]] + 1e-3
+            pts = np.concatenate([pts, extra], axis=0)
+        coords = pts[:n].astype(np.float64)
+        # Hexahedral connectivity approximated as consecutive 8-tuples.
+        conn = (np.arange(spec.nelems * 8, dtype=np.int64).reshape(-1, 8)) % n
+    else:
+        coords = rng.random((n, 3)) * 0.3
+        coords[:, 2] += spec.z0
+        conn = rng.integers(0, n, size=(spec.nelems, 4), dtype=np.int64)
+    return MeshBlock(spec, coords, conn)
+
+
+def cylinder_blocks(
+    nblocks: int,
+    total_cells: int,
+    kind_mix: Tuple[str, ...] = ("structured", "unstructured"),
+    irregularity: float = 0.5,
+    seed: int = 1234,
+    id_base: int = 0,
+) -> List[BlockSpec]:
+    """Pre-partition a rocket cylinder into irregular block specs.
+
+    Cell counts per block are drawn around ``total_cells / nblocks``
+    with relative spread ``irregularity`` (blocks "can have different
+    sizes"), then rescaled so they sum to ``total_cells`` exactly
+    (±rounding).
+    """
+    if nblocks <= 0 or total_cells < nblocks:
+        raise ValueError("need at least one cell per block")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 + irregularity * (rng.random(nblocks) - 0.5) * 2.0
+    weights = np.clip(weights, 0.1, None)
+    cells = np.maximum(1, np.round(weights / weights.sum() * total_cells)).astype(int)
+    specs = []
+    for i, ncells in enumerate(cells):
+        kind = kind_mix[i % len(kind_mix)]
+        # Node count tracks cell count (hex ~ 1.1x, tet ~ 0.3x).
+        nnodes = max(8, int(ncells * (1.1 if kind == "structured" else 0.35)))
+        specs.append(
+            BlockSpec(
+                block_id=id_base + i,
+                kind=kind,
+                nnodes=nnodes,
+                nelems=int(ncells),
+                theta0=2 * np.pi * (i / nblocks),
+                z0=3.0 * (i / nblocks),
+            )
+        )
+    return specs

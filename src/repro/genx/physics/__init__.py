@@ -1,0 +1,21 @@
+"""GENx physics modules: fluids, solids, combustion."""
+
+from .base import PhysicsModule
+from .rocburn import BURN_MODELS, Rocburn, apn_rate, py_rate, zn_rate
+from .rocflo import Rocflo
+from .rocflu import Rocflu
+from .rocfrac import Rocfrac
+from .rocsolid import Rocsolid
+
+__all__ = [
+    "PhysicsModule",
+    "Rocflo",
+    "Rocflu",
+    "Rocfrac",
+    "Rocsolid",
+    "Rocburn",
+    "BURN_MODELS",
+    "apn_rate",
+    "zn_rate",
+    "py_rate",
+]

@@ -1,0 +1,102 @@
+"""Physics-module base: window management + compute-cost accounting.
+
+Each physics module owns one Roccom window holding its mesh and field
+attributes on the locally-assigned blocks, advances those fields every
+timestep with a real (if simplified) numpy kernel, and charges virtual
+compute time proportional to its cell count.  The I/O path reads
+whatever is registered — physics modules never talk to the I/O modules
+directly (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...roccom.attribute import AttributeSpec
+from ...roccom.registry import Roccom
+from ..meshblock import BlockSpec, MeshBlock, build_block
+
+__all__ = ["PhysicsModule"]
+
+
+class PhysicsModule:
+    """Base class for GENx physics components."""
+
+    #: Window name (subclasses set; unique per module).
+    window_name: str = ""
+    #: Module label.
+    name: str = ""
+    #: Nominal compute cost per cell per timestep, seconds.
+    cost_per_cell: float = 1.0e-4
+
+    def __init__(self, cost_per_cell: Optional[float] = None):
+        if cost_per_cell is not None:
+            self.cost_per_cell = cost_per_cell
+        self.blocks: List[MeshBlock] = []
+        self.com: Optional[Roccom] = None
+        self._total_cells = 0
+
+    # -- interface for subclasses -----------------------------------------
+    def attribute_specs(self) -> List[AttributeSpec]:
+        """Field attributes (beyond mesh coords/connectivity)."""
+        raise NotImplementedError
+
+    def init_fields(self, window, block: MeshBlock, rng: np.random.Generator) -> None:
+        """Fill the initial field arrays of one block."""
+        raise NotImplementedError
+
+    def kernel(self, window, block: MeshBlock, dt: float, step: int) -> None:
+        """Advance one block's fields by ``dt`` (pure numpy, no DES)."""
+        raise NotImplementedError
+
+    # -- common machinery ------------------------------------------------------
+    def setup(self, com: Roccom, specs: Sequence[BlockSpec], rng: np.random.Generator):
+        """Create the window, realize blocks, register panes + arrays."""
+        self.com = com
+        window = com.new_window(self.window_name)
+        window.declare_attribute(AttributeSpec("coords", "node", ncomp=3))
+        nodes_per_elem = self.nodes_per_elem()
+        window.declare_attribute(
+            AttributeSpec("conn", "element", ncomp=nodes_per_elem, dtype="i8")
+        )
+        for spec in self.attribute_specs():
+            window.declare_attribute(spec)
+        for bspec in specs:
+            block = build_block(bspec, rng)
+            self.blocks.append(block)
+            window.register_pane(bspec.block_id, block.nnodes, block.nelems)
+            window.set_array("coords", bspec.block_id, block.coords)
+            conn = block.conn
+            if conn.shape[1] != nodes_per_elem:
+                conn = np.resize(conn, (block.nelems, nodes_per_elem))
+            window.set_array("conn", bspec.block_id, conn % block.nnodes)
+            self.init_fields(window, block, rng)
+            self._total_cells += block.nelems
+        return window
+
+    def nodes_per_elem(self) -> int:
+        return 8
+
+    @property
+    def total_cells(self) -> int:
+        return self._total_cells
+
+    def nominal_step_cost(self) -> float:
+        """Virtual compute seconds per timestep on this rank."""
+        return self.cost_per_cell * self._total_cells
+
+    def advance(self, ctx, dt: float, step: int):
+        """Generator: one timestep — real data update + virtual time."""
+        window = self.com.window(self.window_name)
+        for block in self.blocks:
+            self.kernel(window, block, dt, step)
+        yield from ctx.compute(self.nominal_step_cost())
+
+    def local_dt_limit(self) -> float:
+        """Stability limit contributed by this module (for allreduce)."""
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {len(self.blocks)} blocks, {self._total_cells} cells>"

@@ -1,0 +1,60 @@
+"""Rocflu-MP analogue: unstructured-mesh gas dynamics.
+
+Same physical fields as Rocflo but on tetrahedral blocks with an
+edge-smoothing update driven by the explicit connectivity — the
+unstructured data layout is what matters for the I/O path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...roccom.attribute import AttributeSpec
+from .base import PhysicsModule
+
+__all__ = ["Rocflu"]
+
+_P0 = 6.0e6
+
+
+class Rocflu(PhysicsModule):
+    """Unstructured-mesh fluid solver."""
+
+    window_name = "Rocflu"
+    name = "rocflu"
+    # Unstructured solvers cost more per cell (indirect addressing).
+    cost_per_cell = 1.1e-4
+
+    def attribute_specs(self) -> List[AttributeSpec]:
+        return [
+            AttributeSpec("pressure", "element", unit="Pa"),
+            AttributeSpec("density", "element", unit="kg/m^3"),
+            AttributeSpec("velocity", "node", ncomp=3, unit="m/s"),
+        ]
+
+    def nodes_per_elem(self) -> int:
+        return 4
+
+    def init_fields(self, window, block, rng) -> None:
+        ne, nn = block.nelems, block.nnodes
+        bid = block.block_id
+        window.set_array("pressure", bid, np.full(ne, _P0) + rng.normal(0, 1e3, ne))
+        window.set_array("density", bid, np.full(ne, 8.0))
+        window.set_array("velocity", bid, rng.normal(0, 1.0, (nn, 3)))
+
+    def kernel(self, window, block, dt: float, step: int) -> None:
+        bid = block.block_id
+        p = window.get_array("pressure", bid)
+        rho = window.get_array("density", bid)
+        v = window.get_array("velocity", bid)
+        conn = window.get_array("conn", bid)
+        # Smooth cell pressure toward the mean over each cell's nodes'
+        # incident values (gather via connectivity: indirect access).
+        node_p = np.zeros(block.nnodes)
+        np.add.at(node_p, conn.ravel() % block.nnodes, np.repeat(p / 4.0, 4))
+        cell_avg = node_p[conn[:, 0] % block.nnodes]
+        p += 0.05 * (cell_avg - p)
+        rho += dt * 1e-8 * (p - _P0)
+        v *= 0.9995

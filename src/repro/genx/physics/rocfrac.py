@@ -1,0 +1,72 @@
+"""Rocfrac analogue: explicit structural dynamics on tetrahedral blocks.
+
+Node displacement/velocity advanced by a damped wave-equation update
+with element stress recovery — an Arbitrary Lagrangian-Eulerian solid
+solver stand-in.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...roccom.attribute import AttributeSpec
+from .base import PhysicsModule
+
+__all__ = ["Rocfrac"]
+
+
+class Rocfrac(PhysicsModule):
+    """Explicit solid-mechanics solver (fracture-capable in real GENx)."""
+
+    window_name = "Rocfrac"
+    name = "rocfrac"
+    cost_per_cell = 7.8e-5
+
+    def attribute_specs(self) -> List[AttributeSpec]:
+        return [
+            AttributeSpec("displacement", "node", ncomp=3, unit="m"),
+            AttributeSpec("velocity", "node", ncomp=3, unit="m/s"),
+            AttributeSpec("stress", "element", ncomp=6, unit="Pa"),
+            AttributeSpec("traction", "element", unit="Pa"),
+        ]
+
+    def nodes_per_elem(self) -> int:
+        return 4
+
+    def init_fields(self, window, block, rng) -> None:
+        nn, ne = block.nnodes, block.nelems
+        bid = block.block_id
+        window.set_array("displacement", bid, np.zeros((nn, 3)))
+        window.set_array("velocity", bid, np.zeros((nn, 3)))
+        window.set_array("stress", bid, np.zeros((ne, 6)))
+        window.set_array("traction", bid, np.zeros(ne))
+
+    def kernel(self, window, block, dt: float, step: int) -> None:
+        bid = block.block_id
+        u = window.get_array("displacement", bid)
+        v = window.get_array("velocity", bid)
+        s = window.get_array("stress", bid)
+        t = window.get_array("traction", bid)
+        # Damped wave update: internal force ~ -k*u, surface traction
+        # drives the normal component.
+        accel = -4.0e4 * u
+        accel[: min(len(t), len(accel)), 0] += t[: min(len(t), len(accel))] * 1e-6
+        v += dt * accel
+        v *= 0.999
+        u += dt * v
+        # Stress recovery: proportional to local displacement magnitude.
+        mag = np.linalg.norm(u, axis=1)
+        ne = s.shape[0]
+        src = mag[:ne] if len(mag) >= ne else np.resize(mag, ne)
+        for c in range(6):
+            s[:, c] = (2.0e9 if c < 3 else 0.8e9) * src
+
+    def local_dt_limit(self) -> float:
+        return 2e-6
+
+    def apply_traction(self, block_id: int, pressure: float) -> None:
+        """Receive interface pressure from the fluid (via Rocface)."""
+        t = self.com.window(self.window_name).get_array("traction", block_id)
+        t[:] = pressure

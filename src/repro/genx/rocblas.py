@@ -1,0 +1,82 @@
+"""Rocblas analogue: parallel algebraic operators on window attributes.
+
+"Rocblas provides parallel algebraic operators for jump conditions"
+(§3.1).  Operators act on qualified attributes (``"Window.attr"``)
+across all local panes; the reduction variants combine with an
+allreduce over the compute communicator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..roccom.registry import Roccom
+
+__all__ = ["axpy", "scale", "copy_attr", "local_dot", "global_dot", "global_minmax"]
+
+
+def _panes_arrays(com: Roccom, qualified: str):
+    window_name, _, attr = qualified.partition(".")
+    window = com.window(window_name)
+    for pane in window.panes():
+        if window.has_array(attr, pane.id):
+            yield pane.id, window.get_array(attr, pane.id)
+
+
+def axpy(com: Roccom, alpha: float, x: str, y: str) -> None:
+    """``y += alpha * x`` over every local pane (in place)."""
+    y_window, _, y_attr = y.partition(".")
+    window = com.window(y_window)
+    for pane_id, x_arr in _panes_arrays(com, x):
+        y_arr = window.get_array(y_attr, pane_id)
+        if x_arr.shape != y_arr.shape:
+            raise ValueError(
+                f"axpy shape mismatch on pane {pane_id}: {x_arr.shape} vs {y_arr.shape}"
+            )
+        y_arr += alpha * x_arr
+
+
+def scale(com: Roccom, alpha: float, x: str) -> None:
+    """``x *= alpha`` over every local pane (in place)."""
+    for _pane_id, arr in _panes_arrays(com, x):
+        arr *= alpha
+
+
+def copy_attr(com: Roccom, src: str, dst: str) -> None:
+    """``dst[:] = src`` over every local pane."""
+    d_window, _, d_attr = dst.partition(".")
+    window = com.window(d_window)
+    for pane_id, src_arr in _panes_arrays(com, src):
+        dst_arr = window.get_array(d_attr, pane_id)
+        dst_arr[...] = src_arr
+
+
+def local_dot(com: Roccom, x: str, y: Optional[str] = None) -> float:
+    """Local dot product of two attributes (y defaults to x)."""
+    if y is None or y == x:
+        return float(sum(np.vdot(a, a).real for _, a in _panes_arrays(com, x)))
+    pairs = {pid: a for pid, a in _panes_arrays(com, x)}
+    total = 0.0
+    for pane_id, y_arr in _panes_arrays(com, y):
+        if pane_id in pairs:
+            total += float(np.vdot(pairs[pane_id], y_arr).real)
+    return total
+
+
+def global_dot(com: Roccom, comm, x: str, y: Optional[str] = None):
+    """Generator: allreduce-summed dot product over the communicator."""
+    local = local_dot(com, x, y)
+    result = yield from comm.allreduce(local)
+    return result
+
+
+def global_minmax(com: Roccom, comm, x: str):
+    """Generator: global (min, max) of an attribute over the job."""
+    lo = min((float(a.min()) for _, a in _panes_arrays(com, x)), default=np.inf)
+    hi = max((float(a.max()) for _, a in _panes_arrays(com, x)), default=-np.inf)
+    pair = yield from comm.allreduce(
+        (lo, hi), op=lambda p, q: (min(p[0], q[0]), max(p[1], q[1]))
+    )
+    return pair

@@ -1,0 +1,52 @@
+"""Parallel I/O services: Rocpanda (collective), Rochdf, and T-Rochdf.
+
+All three register the same uniform Roccom interface
+(``write_attribute`` / ``read_attribute`` / ``sync``), so simulation
+code switches architectures by loading a different module (§5).
+"""
+
+from .base import (
+    DataBlock,
+    IOStats,
+    apply_block,
+    block_to_datasets,
+    collect_blocks,
+    dataset_name,
+    datasets_to_blocks,
+    parse_dataset_name,
+)
+from .rochdf import RochdfModule, list_snapshot_files, snapshot_file_path
+from .rocpanda import (
+    PandaServer,
+    RocpandaModule,
+    ServerConfig,
+    ServerStats,
+    Topology,
+    rocpanda_init,
+    server_file_path,
+    server_ranks,
+)
+from .trochdf import TRochdfModule
+
+__all__ = [
+    "DataBlock",
+    "IOStats",
+    "collect_blocks",
+    "apply_block",
+    "block_to_datasets",
+    "datasets_to_blocks",
+    "dataset_name",
+    "parse_dataset_name",
+    "RochdfModule",
+    "TRochdfModule",
+    "snapshot_file_path",
+    "list_snapshot_files",
+    "RocpandaModule",
+    "PandaServer",
+    "ServerConfig",
+    "ServerStats",
+    "Topology",
+    "rocpanda_init",
+    "server_ranks",
+    "server_file_path",
+]

@@ -1,0 +1,162 @@
+"""Rochdf: server-less individual I/O (§4.2).
+
+Every compute processor writes its own data blocks into its own HDF
+file — no communication, no dedicated servers, but one file *per
+process per snapshot* and full exposure to filesystem write contention
+(the behaviour Table 1 quantifies).
+
+Restart: each process knows which block IDs it needs (its registered
+panes) and scans snapshot files starting with its own, so in the
+common same-process-count case restart touches exactly one file, and
+"Rochdf gains extra I/O parallelism by having all the processors
+performing reads" (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..roccom.module import ServiceModule
+from ..shdf.drivers import HDFDriver, hdf4_driver
+from ..shdf.file import SHDFReader, SHDFWriter
+from .base import (
+    IOStats,
+    apply_block,
+    block_to_datasets,
+    collect_blocks,
+    datasets_to_blocks,
+)
+
+__all__ = ["RochdfModule", "snapshot_file_path", "list_snapshot_files"]
+
+
+def snapshot_file_path(prefix: str, writer_index: int) -> str:
+    """Individual-mode file name for one writer's part of a snapshot."""
+    return f"{prefix}_p{writer_index:05d}.shdf"
+
+
+def list_snapshot_files(disk, prefix: str) -> List[str]:
+    """All per-process files of a snapshot, sorted by writer index."""
+    return disk.listdir(prefix + "_p")
+
+
+class RochdfModule(ServiceModule):
+    """The non-threaded individual I/O service."""
+
+    name = "rochdf"
+
+    def __init__(self, ctx, driver: Optional[HDFDriver] = None):
+        self.ctx = ctx
+        self.driver = driver if driver is not None else hdf4_driver()
+        self.stats = IOStats()
+        self.com = None
+
+    # -- module lifecycle ------------------------------------------------
+    def load(self, com) -> None:
+        self.com = com
+        self._register_io_window(com)
+
+    def unload(self, com) -> None:
+        self._deregister_io_window(com)
+        self.com = None
+
+    # -- uniform I/O interface ------------------------------------------------
+    def write_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+        file_attrs: Optional[Dict[str, Any]] = None,
+    ):
+        """Generator: write local panes to this process's own file.
+
+        Blocking: returns only when all data reached the filesystem.
+        """
+        ctx = self.ctx
+        t0 = ctx.now
+        blocks = collect_blocks(self.com, window_name, attr_names)
+        file_path = snapshot_file_path(path, ctx.rank)
+        writer = SHDFWriter(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+        yield from writer.open(file_attrs=dict(file_attrs or {}, writer_rank=ctx.rank))
+        for block in blocks:
+            for dataset in block_to_datasets(block):
+                yield from writer.write_dataset(dataset)
+                self.stats.bytes_written += dataset.nbytes
+            self.stats.blocks_written += 1
+        yield from writer.close()
+        self.stats.files_created += 1
+        self.stats.snapshots += 1
+        self.stats.visible_write_time += ctx.now - t0
+        ctx.trace("rochdf", f"wrote {len(blocks)} blocks to {file_path}")
+
+    def read_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+    ):
+        """Generator: restore this process's panes from snapshot files.
+
+        Scans the snapshot's files starting at this rank's own index and
+        wrapping around, stopping as soon as every wanted block is
+        found.  Returns the list of restored block IDs.
+        """
+        ctx = self.ctx
+        t0 = ctx.now
+        window = self.com.window(window_name)
+        wanted = set(window.pane_ids())
+        files = list_snapshot_files(ctx.disk, path)
+        if not files:
+            raise FileNotFoundError(f"no snapshot files with prefix {path!r}")
+        restored: List[int] = []
+        # Start at our own file (same-process-count restarts hit it
+        # immediately); wrap around for the general case.
+        start = ctx.rank % len(files)
+        order = files[start:] + files[:start]
+        for file_path in order:
+            if not wanted:
+                break
+            reader = SHDFReader(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+            yield from reader.open()
+            names = [
+                n
+                for n in reader.names()
+                if _block_of(n) in wanted and n.startswith(window_name + "/")
+            ]
+            datasets = []
+            for name in names:
+                ds = yield from reader.read_dataset(name)
+                datasets.append(ds)
+                self.stats.bytes_read += ds.nbytes
+            yield from reader.close()
+            for block in datasets_to_blocks(datasets):
+                if attr_names is not None:
+                    block.arrays = {
+                        k: v for k, v in block.arrays.items() if k in attr_names
+                    }
+                    block.specs = {
+                        k: v for k, v in block.specs.items() if k in attr_names
+                    }
+                apply_block(self.com, block)
+                wanted.discard(block.block_id)
+                restored.append(block.block_id)
+                self.stats.blocks_read += 1
+        if wanted:
+            raise KeyError(
+                f"blocks {sorted(wanted)} of window {window_name!r} not found "
+                f"in snapshot {path!r}"
+            )
+        self.stats.visible_read_time += ctx.now - t0
+        ctx.trace("rochdf", f"restored {len(restored)} blocks from {path}")
+        return sorted(restored)
+
+    def sync(self):
+        """Generator: no-op — non-threaded Rochdf writes are blocking."""
+        yield self.ctx.env.timeout(0)
+
+
+def _block_of(dataset_name: str) -> int:
+    try:
+        return int(dataset_name.split("/")[1][1:])
+    except (IndexError, ValueError):
+        return -1

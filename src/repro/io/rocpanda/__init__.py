@@ -1,0 +1,42 @@
+"""Rocpanda: client-server collective parallel I/O with active buffering.
+
+The special edition of the Panda parallel I/O library built for GENx
+(§4.1): dedicated I/O server processors collect irregularly
+distributed data blocks from compute clients, buffer them (active
+buffering, §6.1), and write HDF-organized snapshot files behind the
+computation's back.  Restart is collective and works with a different
+server count than the writing run.
+
+Typical SPMD usage::
+
+    def main(ctx):
+        topo = yield from rocpanda_init(ctx, nservers)
+        if topo.is_server:
+            stats = yield from PandaServer(ctx, topo).run()
+            return stats
+        com = Roccom(ctx)
+        panda = com.load_module(RocpandaModule(ctx, topo))
+        ...  # compute on topo.comm, the client communicator
+        yield from com.call_function("OUT.write_attribute", "Fluid", None, path)
+        ...
+        yield from panda.finalize()
+"""
+
+from .client import RocpandaModule
+from .protocol import TAG_BLOCK, TAG_CTRL, TAG_REPLY
+from .server import PandaServer, ServerConfig, ServerStats, server_file_path
+from .topology import Topology, rocpanda_init, server_ranks
+
+__all__ = [
+    "RocpandaModule",
+    "PandaServer",
+    "ServerConfig",
+    "ServerStats",
+    "Topology",
+    "rocpanda_init",
+    "server_ranks",
+    "server_file_path",
+    "TAG_CTRL",
+    "TAG_BLOCK",
+    "TAG_REPLY",
+]

@@ -1,0 +1,254 @@
+"""The Rocpanda client-side service module (§4.1, §5, §6.1).
+
+Loaded through Roccom on every *compute* rank; exposes the same
+uniform ``write_attribute`` / ``read_attribute`` / ``sync`` interface
+as Rochdf, but implemented by shipping data blocks to the rank's
+dedicated I/O server.  The *visible* output cost is "the time to send
+the output data to appropriate servers" (§7.1) — the actual file
+writes happen behind the clients' backs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...des import Event, Store
+from ...roccom.module import ServiceModule
+from ...vmpi.datatypes import ANY_SOURCE
+from ...vthread import VThread
+from ..base import IOStats, apply_block, collect_blocks
+from .protocol import (
+    TAG_BLOCK,
+    TAG_CTRL,
+    TAG_REPLY,
+    BlockEnvelope,
+    RestartBlock,
+    RestartDone,
+    RestartRequest,
+    Shutdown,
+    SyncReply,
+    SyncRequest,
+    WriteBegin,
+)
+from .topology import Topology
+
+__all__ = ["RocpandaModule"]
+
+
+class RocpandaModule(ServiceModule):
+    """Collective I/O service bound to one client rank."""
+
+    name = "rocpanda"
+
+    #: Default per-block marshalling overhead (message assembly).
+    PACK_OVERHEAD = 0.2e-3
+    #: Default marshalling copy bandwidth, bytes/s.
+    PACK_BW = 350 * 1024 * 1024
+
+    def __init__(
+        self,
+        ctx,
+        topo: Topology,
+        pack_overhead: float = None,
+        pack_bw: float = None,
+        client_buffering: bool = False,
+    ):
+        """``client_buffering`` enables the *full* active-buffering
+        hierarchy of [13]: output is first copied into client-side
+        buffers (visible cost = the memcpy, like T-Rochdf) and a
+        persistent background sender ships the blocks to the server.
+        GENx's production configuration keeps this off — "only
+        server-side buffering is used because the servers have enough
+        idle memory" (§6.1) — but the hierarchy is part of the scheme.
+        """
+        if topo.is_server:
+            raise ValueError("RocpandaModule is the client side; servers run PandaServer")
+        self.ctx = ctx
+        self.topo = topo
+        self.pack_overhead = pack_overhead if pack_overhead is not None else self.PACK_OVERHEAD
+        self.pack_bw = pack_bw if pack_bw is not None else self.PACK_BW
+        self.client_buffering = client_buffering
+        self.stats = IOStats()
+        self.com = None
+        self._finalized = False
+        self._sender: Optional[VThread] = None
+        self._send_queue: Optional[Store] = None
+        self._pending_sends: List[Event] = []
+
+    # -- module lifecycle ---------------------------------------------------
+    def load(self, com) -> None:
+        self.com = com
+        self._register_io_window(com)
+        if self.client_buffering:
+            self._send_queue = Store(self.ctx.env)
+            self._sender = VThread(
+                self.ctx.env,
+                self._sender_main(),
+                name=f"panda-sender-r{self.ctx.rank}",
+            )
+
+    def unload(self, com) -> None:
+        if self._sender is not None and self._sender.alive:
+            self._send_queue.put(None)  # shutdown token
+        self._sender = None
+        self._deregister_io_window(com)
+        self.com = None
+
+    # -- uniform I/O interface ------------------------------------------------
+    def write_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+        file_attrs: Optional[Dict[str, Any]] = None,
+    ):
+        """Generator: ship local panes to this rank's I/O server.
+
+        Returns when every block is buffered at the server (active
+        buffering) — NOT when it is on disk; use ``sync`` to wait for
+        disk if needed.
+        """
+        ctx = self.ctx
+        t0 = ctx.now
+        blocks = collect_blocks(self.com, window_name, attr_names)
+        # Snapshot the arrays: blocking-I/O semantics let the caller
+        # mutate its buffers the moment this call returns (§6), while
+        # the server writes the data later.  The copy's time cost is
+        # already part of the modeled transfer + server ingest.
+        for block in blocks:
+            block.arrays = {k: v.copy() for k, v in block.arrays.items()}
+        total = sum(b.nbytes for b in blocks)
+        if self.client_buffering:
+            # Full active-buffering hierarchy ([13]): visible cost is
+            # the local copy; the background sender ships the blocks.
+            yield from ctx.memcpy(total)
+            done = Event(ctx.env)
+            self._pending_sends.append(done)
+            self._send_queue.put(
+                (path, window_name, blocks, dict(file_attrs or {}), done)
+            )
+        else:
+            yield from self._ship(path, window_name, blocks, dict(file_attrs or {}))
+        self.stats.snapshots += 1
+        self.stats.visible_write_time += ctx.now - t0
+        ctx.trace("rocpanda", f"shipped {len(blocks)} blocks ({total} B) for {path}")
+
+    def _ship(self, path, window_name, blocks, file_attrs):
+        """Generator: the actual WriteBegin + block-send sequence."""
+        ctx = self.ctx
+        world = self.topo.world
+        server = self.topo.my_server
+        yield from world.send(
+            WriteBegin(
+                path=path,
+                window=window_name,
+                nblocks=len(blocks),
+                total_bytes=sum(b.nbytes for b in blocks),
+                file_attrs=file_attrs,
+            ),
+            dest=server,
+            tag=TAG_CTRL,
+        )
+        for block in blocks:
+            # Marshal the block into a message (client-side CPU work).
+            # With a single client the server idles during this gap;
+            # with many clients other blocks fill it — the pipelining
+            # behind Fig 3(a)'s throughput rise from 1 to 15 clients.
+            yield ctx.env.timeout(self.pack_overhead + block.nbytes / self.pack_bw)
+            yield from world.send(
+                BlockEnvelope(path, block), dest=server, tag=TAG_BLOCK
+            )
+            self.stats.blocks_written += 1
+            self.stats.bytes_written += block.nbytes
+
+    def _sender_main(self):
+        """Persistent background sender (client-side buffering mode)."""
+        while True:
+            job = yield self._send_queue.get()
+            if job is None:
+                return
+            path, window_name, blocks, file_attrs, done = job
+            yield from self._ship(path, window_name, blocks, file_attrs)
+            done.succeed()
+
+    def _drain_sends(self):
+        """Generator: wait until all buffered sends reached the server."""
+        pending, self._pending_sends = self._pending_sends, []
+        for done in pending:
+            yield done
+
+    def read_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+    ):
+        """Generator: collective restart from server-written files.
+
+        All clients must call this collectively.  Each client asks its
+        server for the block IDs of its registered panes; servers scan
+        the restart files cooperatively and ship blocks back.  Returns
+        the restored block IDs.
+        """
+        ctx = self.ctx
+        world = self.topo.world
+        t0 = ctx.now
+        yield from self._drain_sends()
+        window = self.com.window(window_name)
+        wanted = set(window.pane_ids())
+        yield from world.send(
+            RestartRequest(
+                prefix=path,
+                window=window_name,
+                block_ids=tuple(sorted(wanted)),
+                attr_names=tuple(attr_names) if attr_names is not None else None,
+            ),
+            dest=self.topo.my_server,
+            tag=TAG_CTRL,
+        )
+        restored: List[int] = []
+        done = False
+        while not done:
+            msg, status = yield from world.recv(source=ANY_SOURCE, tag=TAG_REPLY)
+            if isinstance(msg, RestartBlock):
+                apply_block(self.com, msg.block)
+                restored.append(msg.block.block_id)
+                wanted.discard(msg.block.block_id)
+                self.stats.blocks_read += 1
+                self.stats.bytes_read += msg.block.nbytes
+            elif isinstance(msg, RestartDone):
+                done = True
+            else:
+                raise TypeError(f"unexpected restart reply {type(msg).__name__}")
+        if wanted:
+            raise KeyError(
+                f"restart of {window_name!r} from {path!r} is missing blocks "
+                f"{sorted(wanted)}"
+            )
+        self.stats.visible_read_time += ctx.now - t0
+        ctx.trace("rocpanda", f"restored {len(restored)} blocks from {path}")
+        return sorted(restored)
+
+    def sync(self):
+        """Generator: wait until everything this rank sent is on disk."""
+        t0 = self.ctx.now
+        world = self.topo.world
+        yield from self._drain_sends()
+        yield from world.send(SyncRequest(), dest=self.topo.my_server, tag=TAG_CTRL)
+        msg, _ = yield from world.recv(source=self.topo.my_server, tag=TAG_REPLY)
+        if not isinstance(msg, SyncReply):
+            raise TypeError(f"expected SyncReply, got {type(msg).__name__}")
+        self.stats.sync_time += self.ctx.now - t0
+
+    def finalize(self):
+        """Generator: tell the server this client is done (call once)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        yield from self._drain_sends()
+        if self._sender is not None and self._sender.alive:
+            self._send_queue.put(None)
+            yield from self._sender.join()
+        yield from self.topo.world.send(
+            Shutdown(), dest=self.topo.my_server, tag=TAG_CTRL
+        )

@@ -1,0 +1,106 @@
+"""Rocpanda client/server wire protocol.
+
+Message classes carried over vmpi between compute clients and their
+dedicated I/O server.  Control messages are tiny (eager protocol);
+block payloads are large (rendezvous), so a client's send completes
+exactly when the server has buffered the block — giving the
+"clients return to computation when all the output data are buffered
+at the servers" semantics of active buffering (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..base import DataBlock
+
+__all__ = [
+    "TAG_CTRL",
+    "TAG_BLOCK",
+    "TAG_REPLY",
+    "WriteBegin",
+    "BlockEnvelope",
+    "SyncRequest",
+    "SyncReply",
+    "RestartRequest",
+    "RestartBlock",
+    "RestartDone",
+    "Shutdown",
+]
+
+#: Tag for small control messages (client -> server).
+TAG_CTRL = 1
+#: Tag for block payloads (client -> server during output).
+TAG_BLOCK = 2
+#: Tag for server -> client replies (sync acks, restart blocks).
+TAG_REPLY = 3
+
+
+@dataclass(frozen=True)
+class WriteBegin:
+    """A client announces one collective output call."""
+
+    path: str
+    window: str
+    nblocks: int
+    total_bytes: int
+    file_attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BlockEnvelope:
+    """One data block on the wire."""
+
+    path: str
+    block: DataBlock
+
+    @property
+    def nbytes(self) -> int:
+        # Wire size is dominated by the block payload.
+        return self.block.nbytes + 64
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Client asks: tell me when everything I sent is on disk."""
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Server: all output affecting this client is on disk."""
+
+
+@dataclass(frozen=True)
+class RestartRequest:
+    """A client's restart demand: which blocks it wants from a snapshot."""
+
+    prefix: str
+    window: str
+    block_ids: Tuple[int, ...]
+    attr_names: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class RestartBlock:
+    """A restored block travelling from a scanning server to its owner."""
+
+    prefix: str
+    block: DataBlock
+
+    @property
+    def nbytes(self) -> int:
+        return self.block.nbytes + 64
+
+
+@dataclass(frozen=True)
+class RestartDone:
+    """Server signal: the collective restart for ``prefix`` is complete."""
+
+    prefix: str
+    blocks_sent: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Client is finalizing; server exits after all clients say so."""

@@ -1,0 +1,346 @@
+"""The Rocpanda I/O server: active buffering + write-behind (§4.1, §6.1).
+
+A dedicated server rank runs :meth:`PandaServer.run` for the whole job:
+
+* it **buffers** incoming data blocks instead of writing them, so the
+  rendezvous send from the client completes as soon as the block is in
+  server memory — the client returns to computation;
+* it **writes behind**: while clients compute, the server drains its
+  buffer into SHDF files, *checking for new client requests between
+  writing two data blocks* (non-blocking probe), so writing always
+  yields to new requests;
+* when nothing is buffered it **blocks in probe**, leaving its CPU idle
+  for the operating system — the SMP side-benefit of §4.1 (the noise
+  model reads ``cpu.server_busy_fraction``, which the server keeps
+  up to date);
+* on **buffer overflow** it gracefully writes old blocks out to make
+  room for incoming data;
+* on **restart** it collects wanted block IDs from its clients, swaps
+  the global block->owner map with the other servers, scans its
+  round-robin share of the restart files, and ships each found block
+  to whichever client wants it — which is why a run may restart with a
+  different number of servers than wrote the files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...shdf.drivers import HDFDriver, hdf4_driver
+from ...shdf.file import SHDFReader, SHDFWriter
+from ...vmpi.datatypes import ANY_SOURCE, ANY_TAG
+from ..base import DataBlock, block_to_datasets, datasets_to_blocks
+from .protocol import (
+    TAG_BLOCK,
+    TAG_CTRL,
+    TAG_REPLY,
+    BlockEnvelope,
+    RestartBlock,
+    RestartDone,
+    RestartRequest,
+    Shutdown,
+    SyncReply,
+    SyncRequest,
+    WriteBegin,
+)
+from .topology import Topology
+
+__all__ = ["ServerConfig", "ServerStats", "PandaServer", "server_file_path"]
+
+
+def server_file_path(prefix: str, server_index: int) -> str:
+    """Collective-mode file name for one server's part of a snapshot."""
+    return f"{prefix}_s{server_index:04d}.shdf"
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one I/O server."""
+
+    #: Buffer capacity for active buffering, in bytes.
+    buffer_bytes: float = 512 * 1024 * 1024
+    #: Scientific-format driver used for the files.
+    driver: HDFDriver = field(default_factory=hdf4_driver)
+    #: Per-block server-side bookkeeping cost on ingest (buffer
+    #: management + Panda protocol handling), seconds.
+    ingest_overhead: float = 0.4e-3
+    #: Bandwidth of the buffering copy on the server (bytes/s).  Panda
+    #: copies received blocks with large streaming memcpys, faster than
+    #: the per-array buffering T-Rochdf does on the compute side.
+    ingest_bw: float = 350 * 1024 * 1024
+    #: Disable buffering entirely (ablation A1): write through, making
+    #: clients wait for actual file I/O.
+    active_buffering: bool = True
+    #: ``server_busy_fraction`` while actively writing vs while idle.
+    busy_fraction_writing: float = 0.95
+    busy_fraction_idle: float = 0.05
+
+
+@dataclass
+class ServerStats:
+    """Accounting maintained by one server."""
+
+    blocks_received: int = 0
+    bytes_received: int = 0
+    blocks_written: int = 0
+    bytes_written: int = 0
+    files_created: int = 0
+    overflow_flushes: int = 0
+    background_write_time: float = 0.0
+    restart_blocks_sent: int = 0
+    peak_buffered_bytes: int = 0
+
+
+class _PathState:
+    """Per-output-file bookkeeping on the server."""
+
+    __slots__ = (
+        "writer",
+        "writer_attrs",
+        "begun",
+        "expected",
+        "received",
+        "written",
+        "opened",
+    )
+
+    def __init__(self):
+        self.writer: Optional[SHDFWriter] = None
+        self.writer_attrs: Dict[str, Any] = {}
+        self.begun: set = set()
+        self.expected: Dict[int, int] = {}
+        self.received = 0
+        self.written = 0
+        self.opened = False
+
+
+class PandaServer:
+    """One dedicated I/O server process."""
+
+    def __init__(self, ctx, topo: Topology, config: Optional[ServerConfig] = None):
+        self.ctx = ctx
+        self.topo = topo
+        self.config = config if config is not None else ServerConfig()
+        self.stats = ServerStats()
+        self.server_index = topo.servers.index(ctx.rank)
+        self._paths: Dict[str, _PathState] = {}
+        #: FIFO of (path, DataBlock) awaiting background write.
+        self._queue: List[Tuple[str, DataBlock]] = []
+        self._buffered_bytes = 0
+        self._shutdowns = 0
+        self._sync_waiters: List[int] = []
+        self._restart_requests: Dict[str, Dict[int, RestartRequest]] = {}
+
+    # -- main loop -------------------------------------------------------
+    def run(self):
+        """Generator: serve until every client has sent Shutdown."""
+        ctx = self.ctx
+        world = self.topo.world
+        nclients = len(self.topo.my_clients)
+        ctx.trace("panda-server", f"serving clients {self.topo.my_clients}")
+        while True:
+            if self._queue:
+                # Data to write: poll for new requests (non-blocking),
+                # otherwise write one buffered block out (§6.1).
+                status = world.iprobe(ANY_SOURCE, ANY_TAG)
+                if status is not None:
+                    yield from self._handle_one(status)
+                else:
+                    yield from self._write_one_block()
+            elif self._shutdowns >= nclients:
+                break
+            else:
+                # Nothing to write: block in probe; the CPU is idle and
+                # absorbs OS background work (§4.1).
+                self.ctx.cpu.server_busy_fraction = self.config.busy_fraction_idle
+                status = yield from world.probe(ANY_SOURCE, ANY_TAG)
+                yield from self._handle_one(status)
+            self._answer_sync_waiters()
+        yield from self._close_finished_paths(force=True)
+        self._answer_sync_waiters()
+        ctx.trace("panda-server", "shutdown complete")
+        return self.stats
+
+    # -- message handling ---------------------------------------------------
+    def _handle_one(self, status):
+        world = self.topo.world
+        msg, st = yield from world.recv(source=status.source, tag=status.tag)
+        if isinstance(msg, WriteBegin):
+            self._on_write_begin(st.source, msg)
+        elif isinstance(msg, BlockEnvelope):
+            yield from self._on_block(st.source, msg)
+        elif isinstance(msg, SyncRequest):
+            self._sync_waiters.append(st.source)
+        elif isinstance(msg, RestartRequest):
+            yield from self._on_restart_request(st.source, msg)
+        elif isinstance(msg, Shutdown):
+            self._shutdowns += 1
+        else:
+            raise TypeError(f"server got unexpected message {type(msg).__name__}")
+
+    def _on_write_begin(self, client: int, msg: WriteBegin) -> None:
+        state = self._paths.setdefault(msg.path, _PathState())
+        state.begun.add(client)
+        state.expected[client] = msg.nblocks
+        if not state.opened:
+            state.opened = True
+            file_path = server_file_path(msg.path, self.server_index)
+            state.writer = SHDFWriter(
+                self.ctx.env,
+                self.ctx.fs,
+                file_path,
+                self.config.driver,
+                node=self.ctx.node,
+            )
+            state.writer_attrs = dict(msg.file_attrs)
+
+    def _on_block(self, client: int, msg: BlockEnvelope):
+        cfg = self.config
+        block = msg.block
+        nbytes = block.nbytes
+        self.stats.blocks_received += 1
+        self.stats.bytes_received += nbytes
+        # Buffer-management / protocol bookkeeping per block.
+        yield self.ctx.env.timeout(cfg.ingest_overhead)
+        state = self._paths.setdefault(msg.path, _PathState())
+        state.received += 1
+        if not cfg.active_buffering:
+            # Ablation: write through while the client waits.
+            yield from self._write_block(msg.path, block)
+            yield from self._close_finished_paths()
+            return
+        # Copy into the server's buffer hierarchy.
+        yield self.ctx.env.timeout(nbytes / cfg.ingest_bw)
+        if self._buffered_bytes + nbytes > cfg.buffer_bytes:
+            # Graceful overflow: write previously buffered data out to
+            # make room for incoming data (§6.1).
+            self.stats.overflow_flushes += 1
+            while self._queue and self._buffered_bytes + nbytes > cfg.buffer_bytes:
+                yield from self._write_one_block()
+        self._queue.append((msg.path, block))
+        self._buffered_bytes += nbytes
+        self.stats.peak_buffered_bytes = max(
+            self.stats.peak_buffered_bytes, self._buffered_bytes
+        )
+
+    # -- background writing --------------------------------------------------
+    def _write_one_block(self):
+        path, block = self._queue.pop(0)
+        self._buffered_bytes -= block.nbytes
+        yield from self._write_block(path, block)
+        yield from self._close_finished_paths()
+
+    def _write_block(self, path: str, block: DataBlock):
+        cpu = self.ctx.cpu
+        cpu.server_busy_fraction = self.config.busy_fraction_writing
+        t0 = self.ctx.now
+        state = self._paths[path]
+        if state.writer._open is False and state.writer.ndatasets == 0:
+            yield from state.writer.open(file_attrs=getattr(state, "writer_attrs", {}))
+            self.stats.files_created += 1
+        for dataset in block_to_datasets(block):
+            yield from state.writer.write_dataset(dataset)
+            self.stats.bytes_written += dataset.nbytes
+        state.written += 1
+        self.stats.blocks_written += 1
+        self.stats.background_write_time += self.ctx.now - t0
+        cpu.server_busy_fraction = self.config.busy_fraction_idle
+
+    def _close_finished_paths(self, force: bool = False):
+        """Generator: close and retire every fully-written output file."""
+        nclients = len(self.topo.my_clients)
+        for path, state in list(self._paths.items()):
+            announced = len(state.begun) == nclients
+            all_expected = sum(state.expected.values()) if announced else None
+            complete = (
+                announced
+                and state.received == all_expected
+                and state.written == all_expected
+            )
+            if complete or (force and state.opened):
+                if state.writer is not None and state.writer._open:
+                    yield from state.writer.close()
+                del self._paths[path]
+
+    def _answer_sync_waiters(self) -> None:
+        if not self._sync_waiters:
+            return
+        if self._queue or any(s.received != s.written for s in self._paths.values()):
+            return
+        waiters, self._sync_waiters = self._sync_waiters, []
+        world = self.topo.world
+        for client in waiters:
+            # Eager-sized reply; fire-and-forget.
+            self.ctx.env.process(
+                world.send(SyncReply(), dest=client, tag=TAG_REPLY),
+                name="panda-sync-reply",
+            )
+
+    # -- restart (collective read) ---------------------------------------------
+    def _on_restart_request(self, client: int, msg: RestartRequest):
+        bucket = self._restart_requests.setdefault(msg.prefix, {})
+        bucket[client] = msg
+        if len(bucket) == len(self.topo.my_clients):
+            yield from self._do_restart(msg.prefix)
+            del self._restart_requests[msg.prefix]
+
+    def _do_restart(self, prefix: str):
+        ctx = self.ctx
+        world = self.topo.world
+        server_comm = self.topo.comm
+        requests = self._restart_requests[prefix]
+        # Build my clients' wanted map and swap it with the other servers.
+        mine = {
+            bid: client
+            for client, req in requests.items()
+            for bid in req.block_ids
+        }
+        window = next(iter(requests.values())).window
+        attr_filter = next(iter(requests.values())).attr_names
+        all_maps = yield from server_comm.allgather(mine)
+        owner_of: Dict[int, int] = {}
+        for m in all_maps:
+            owner_of.update(m)
+        # Round-robin file assignment across the *current* server count:
+        # restart may use a different number of servers than the run
+        # that wrote the files (§4.1).
+        files = sorted(
+            f for f in ctx.disk.listdir(prefix + "_s") if f.endswith(".shdf")
+        )
+        if not files:
+            raise FileNotFoundError(f"no Rocpanda restart files with prefix {prefix!r}")
+        my_files = files[self.server_index :: self.topo.nservers]
+        sent = 0
+        for file_path in my_files:
+            reader = SHDFReader(ctx.env, ctx.fs, file_path, self.config.driver, node=ctx.node)
+            yield from reader.open()
+            # Scan through the file, find requested data blocks, send
+            # them to the appropriate clients (§4.1).
+            datasets = yield from reader.read_all()
+            yield from reader.close()
+            for block in datasets_to_blocks(
+                [d for d in datasets if d.name.startswith(window + "/")]
+            ):
+                owner = owner_of.get(block.block_id)
+                if owner is None:
+                    continue
+                if attr_filter is not None:
+                    block.arrays = {
+                        k: v for k, v in block.arrays.items() if k in attr_filter
+                    }
+                    block.specs = {
+                        k: v for k, v in block.specs.items() if k in attr_filter
+                    }
+                yield from world.send(
+                    RestartBlock(prefix, block), dest=owner, tag=TAG_REPLY
+                )
+                sent += 1
+        self.stats.restart_blocks_sent += sent
+        # All servers finish scanning/sending before anyone reports done,
+        # so a client never sees RestartDone before its last block.
+        yield from server_comm.barrier()
+        for client in self.topo.my_clients:
+            yield from world.send(
+                RestartDone(prefix, sent), dest=client, tag=TAG_REPLY
+            )

@@ -1,0 +1,112 @@
+"""Rocpanda job topology: who serves, who computes, who talks to whom.
+
+Simulations using Rocpanda with *n* clients and *m* servers run on
+*n + m* processors.  After MPI initialization every processor calls
+:func:`rocpanda_init`, which splits MPI_COMM_WORLD into a client
+communicator and a server communicator (§4.1).  Server ranks are
+spread across nodes by choosing global ranks ``0, s, 2s, ...`` with
+stride ``s = nprocs // nservers`` — on an SMP machine with one server
+per node's worth of ranks this dedicates one CPU per node to I/O.
+
+Each server serves the ``s - 1`` client ranks that follow it; with
+fine-grained distribution and dynamic load balancing the clients carry
+roughly equal data, so "the I/O workload is partitioned among the
+servers ... resulting in a balanced I/O workload at the servers
+automatically" (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...cluster.node import ROLE_SERVER
+
+__all__ = ["Topology", "server_ranks", "rocpanda_init"]
+
+
+def server_ranks(nprocs: int, nservers: int) -> List[int]:
+    """Global ranks dedicated as I/O servers: ``0, s, 2s, ...``."""
+    if not 0 < nservers <= nprocs:
+        raise ValueError(f"need 0 < nservers ({nservers}) <= nprocs ({nprocs})")
+    stride = nprocs // nservers
+    ranks = [i * stride for i in range(nservers)]
+    return ranks
+
+
+@dataclass
+class Topology:
+    """One rank's view of the Rocpanda process layout."""
+
+    nprocs: int
+    nservers: int
+    servers: Tuple[int, ...]
+    #: This rank's role.
+    is_server: bool
+    #: World rank of the server handling this client (clients only).
+    my_server: Optional[int]
+    #: World ranks of this server's clients (servers only).
+    my_clients: Tuple[int, ...]
+    #: Client-only communicator (the one the application computes on),
+    #: or the server communicator on server ranks.
+    comm: object = None
+    #: The original world communicator (for client<->server traffic).
+    world: object = None
+
+    @property
+    def nclients(self) -> int:
+        return self.nprocs - self.nservers
+
+
+def _plan(nprocs: int, nservers: int):
+    servers = server_ranks(nprocs, nservers)
+    sset = set(servers)
+    assignment = {}
+    current = None
+    for rank in range(nprocs):
+        if rank in sset:
+            current = rank
+            assignment[current] = []
+        else:
+            assignment[current].append(rank)
+    # Ranks before the first server (none, since 0 is a server) and
+    # trailing ranks fall to the last server.
+    return servers, assignment
+
+
+def rocpanda_init(ctx, nservers: int):
+    """Generator: split the world into clients and servers (§4.1).
+
+    Every rank calls this collectively; returns a :class:`Topology`
+    whose ``comm`` is the client communicator on clients ("all the
+    instances of MPI_COMM_WORLD need to be replaced by the client
+    communicator", §4.2) and the server communicator on servers.
+    """
+    world = ctx.world
+    nprocs = world.size
+    servers, assignment = _plan(nprocs, nservers)
+    is_server = ctx.rank in assignment
+    if is_server:
+        ctx.set_role(ROLE_SERVER)
+    sub = yield from world.split(1 if is_server else 0, key=ctx.rank)
+    my_server = None
+    my_clients: Tuple[int, ...] = ()
+    if is_server:
+        my_clients = tuple(assignment[ctx.rank])
+    else:
+        for s in reversed(servers):
+            if s < ctx.rank:
+                my_server = s
+                break
+        if my_server is None:
+            my_server = servers[0]
+    return Topology(
+        nprocs=nprocs,
+        nservers=nservers,
+        servers=tuple(servers),
+        is_server=is_server,
+        my_server=my_server,
+        my_clients=my_clients,
+        comm=sub,
+        world=world,
+    )

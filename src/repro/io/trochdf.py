@@ -1,0 +1,165 @@
+"""T-Rochdf: multi-threaded individual I/O with background writing (§6.2).
+
+One persistent I/O thread per process handles all output.  A
+``write_attribute`` call copies the output data into local buffers (the
+only *visible* cost) and returns; the I/O thread writes the buffered
+data while the main thread computes.  The main thread buffers all write
+requests of the same snapshot, but blocks until the I/O thread has
+drained the *previous* snapshot before buffering a new one — exactly
+the paper's policy, which bounds buffer memory to one snapshot's worth.
+
+The overlap is transparent: callers keep the simple blocking interface
+and may reuse their arrays immediately after the call returns (we
+snapshot the arrays with a real copy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..des import Event, Store
+from ..shdf.drivers import HDFDriver
+from ..shdf.file import SHDFWriter
+from ..vthread import VThread
+from .base import DataBlock, IOStats, block_to_datasets, collect_blocks
+from .rochdf import RochdfModule, snapshot_file_path
+
+__all__ = ["TRochdfModule"]
+
+_SHUTDOWN = object()
+
+
+class _WriteJob:
+    """One buffered write_attribute call, to be executed by the I/O thread."""
+
+    __slots__ = ("path", "snapshot_id", "blocks", "file_attrs", "done")
+
+    def __init__(self, path, snapshot_id, blocks, file_attrs, done):
+        self.path = path
+        self.snapshot_id = snapshot_id
+        self.blocks = blocks
+        self.file_attrs = file_attrs
+        self.done = done
+
+
+class TRochdfModule(RochdfModule):
+    """Threaded Rochdf: same interface, overlapped writes.
+
+    Restart (``read_attribute``) is inherited unchanged from Rochdf:
+    "Since no computation can be overlapped with restart operations,
+    T-Rochdf performs restart in the same way as Rochdf does" (§7.1).
+    """
+
+    name = "trochdf"
+
+    def __init__(self, ctx, driver: Optional[HDFDriver] = None):
+        super().__init__(ctx, driver)
+        self._queue: Store = Store(ctx.env)
+        self._pending: List[Event] = []
+        self._current_snapshot: Optional[Any] = None
+        self._thread: Optional[VThread] = None
+
+    # -- module lifecycle ----------------------------------------------------
+    def load(self, com) -> None:
+        super().load(com)
+        # The single persistent I/O thread (reduces thread switching
+        # overhead and serializes competing write requests, §6.2).
+        self._thread = VThread(
+            self.ctx.env, self._io_thread_main(), name=f"trochdf-io-r{self.ctx.rank}"
+        )
+
+    def unload(self, com) -> None:
+        # Drain outstanding writes before tearing down; unload must not
+        # lose buffered data.  Driven lazily: we push a shutdown token;
+        # the caller should have issued sync() from a process context.
+        if self._thread is not None and self._thread.alive:
+            self._queue.put(_SHUTDOWN)
+        self._thread = None
+        super().unload(com)
+
+    # -- uniform I/O interface ---------------------------------------------------
+    def write_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+        file_attrs: Optional[Dict[str, Any]] = None,
+        snapshot_id: Optional[Any] = None,
+    ):
+        """Generator: buffer locally and return; I/O happens in background.
+
+        ``snapshot_id`` groups back-to-back calls belonging to one
+        snapshot (defaults to ``path``); a call with a *new* snapshot id
+        first waits for the previous snapshot's writes to finish.
+        """
+        ctx = self.ctx
+        t0 = ctx.now
+        sid = snapshot_id if snapshot_id is not None else path
+        if self._current_snapshot is not None and sid != self._current_snapshot:
+            # New snapshot: block until the previous one is on disk.
+            yield from self._drain()
+        self._current_snapshot = sid
+
+        blocks = collect_blocks(self.com, window_name, attr_names)
+        # Copy into the shared buffers: the caller may immediately
+        # overwrite its arrays.  This memcpy is the visible cost.
+        total = 0
+        buffered = []
+        for block in blocks:
+            arrays = {k: v.copy() for k, v in block.arrays.items()}
+            total += block.nbytes
+            buffered.append(
+                DataBlock(
+                    window=block.window,
+                    block_id=block.block_id,
+                    nnodes=block.nnodes,
+                    nelems=block.nelems,
+                    arrays=arrays,
+                    specs=dict(block.specs),
+                )
+            )
+        yield from ctx.memcpy(total)
+
+        done = Event(ctx.env)
+        self._pending.append(done)
+        self._queue.put(
+            _WriteJob(path, sid, buffered, dict(file_attrs or {}), done)
+        )
+        self.stats.snapshots += 1
+        self.stats.visible_write_time += ctx.now - t0
+        ctx.trace("trochdf", f"buffered {len(blocks)} blocks ({total} B) for {path}")
+
+    def sync(self):
+        """Generator: wait until all buffered snapshots are on disk (§5)."""
+        t0 = self.ctx.now
+        yield from self._drain()
+        self.stats.sync_time += self.ctx.now - t0
+
+    # -- internals ---------------------------------------------------------------
+    def _drain(self):
+        pending, self._pending = self._pending, []
+        for done in pending:
+            yield done
+        self._current_snapshot = None
+
+    def _io_thread_main(self):
+        """The persistent background writer loop."""
+        ctx = self.ctx
+        while True:
+            job = yield self._queue.get()
+            if job is _SHUTDOWN:
+                return
+            file_path = snapshot_file_path(job.path, ctx.rank)
+            writer = SHDFWriter(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+            yield from writer.open(
+                file_attrs=dict(job.file_attrs, writer_rank=ctx.rank)
+            )
+            for block in job.blocks:
+                for dataset in block_to_datasets(block):
+                    yield from writer.write_dataset(dataset)
+                    self.stats.bytes_written += dataset.nbytes
+                self.stats.blocks_written += 1
+            yield from writer.close()
+            self.stats.files_created += 1
+            job.done.succeed()
+            ctx.trace("trochdf", f"background write of {file_path} complete")

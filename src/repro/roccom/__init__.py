@@ -1,0 +1,62 @@
+"""Roccom: the component-integration framework (§5).
+
+Windows partitioned into panes, attribute registration/retrieval,
+function registration with :func:`COM_call_function` dispatch, and the
+load_module/unload_module mechanism that makes the I/O services
+interchangeable.
+"""
+
+from .attribute import (
+    LOC_ELEMENT,
+    LOC_NODE,
+    LOC_PANE,
+    LOC_WINDOW,
+    AttributeSpec,
+)
+from .bindings import (
+    COM_call_function,
+    COM_finalize,
+    COM_get_array,
+    COM_get_com,
+    COM_init,
+    COM_load_module,
+    COM_new_attribute,
+    COM_new_window,
+    COM_delete_window,
+    COM_register_function,
+    COM_register_pane,
+    COM_set_array,
+    COM_unload_module,
+    f90_string,
+)
+from .module import IO_FUNCTIONS, IO_WINDOW, ServiceModule
+from .registry import Roccom
+from .window import Pane, Window
+
+__all__ = [
+    "AttributeSpec",
+    "LOC_NODE",
+    "LOC_ELEMENT",
+    "LOC_PANE",
+    "LOC_WINDOW",
+    "Pane",
+    "Window",
+    "Roccom",
+    "ServiceModule",
+    "IO_WINDOW",
+    "IO_FUNCTIONS",
+    "COM_init",
+    "COM_finalize",
+    "COM_get_com",
+    "COM_new_window",
+    "COM_delete_window",
+    "COM_new_attribute",
+    "COM_register_pane",
+    "COM_set_array",
+    "COM_get_array",
+    "COM_register_function",
+    "COM_call_function",
+    "COM_load_module",
+    "COM_unload_module",
+    "f90_string",
+]

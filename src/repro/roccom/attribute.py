@@ -1,0 +1,79 @@
+"""Attribute specifications for Roccom windows.
+
+An *attribute* is a named data member every pane of a window carries:
+mesh coordinates, connectivity, node- or element-centered field values,
+or per-pane/window scalars.  All panes of a window share the same
+attribute collection while sizes vary per pane (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AttributeSpec",
+    "LOC_NODE",
+    "LOC_ELEMENT",
+    "LOC_PANE",
+    "LOC_WINDOW",
+]
+
+#: One value-row per mesh node.
+LOC_NODE = "node"
+#: One value-row per mesh element.
+LOC_ELEMENT = "element"
+#: One array per pane, size independent of the mesh.
+LOC_PANE = "pane"
+#: A single window-level value (shared, not per-pane).
+LOC_WINDOW = "window"
+
+_LOCATIONS = (LOC_NODE, LOC_ELEMENT, LOC_PANE, LOC_WINDOW)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one window attribute.
+
+    ``ncomp`` is the number of components per item (3 for coordinates
+    or velocity, 1 for pressure, nodes-per-element for connectivity).
+    """
+
+    name: str
+    location: str
+    ncomp: int = 1
+    dtype: str = "f8"
+    unit: str = ""
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name or "." in self.name:
+            raise ValueError(f"bad attribute name {self.name!r} ('/' and '.' reserved)")
+        if self.location not in _LOCATIONS:
+            raise ValueError(f"bad location {self.location!r}, must be one of {_LOCATIONS}")
+        if self.ncomp < 1:
+            raise ValueError("ncomp must be >= 1")
+        np.dtype(self.dtype)  # raises TypeError on nonsense
+
+    def expected_shape(self, nitems: int):
+        """Expected array shape for a pane with ``nitems`` nodes/elements."""
+        if self.location == LOC_WINDOW:
+            raise ValueError("window-located attributes are not per-pane arrays")
+        if self.ncomp == 1:
+            return (nitems,)
+        return (nitems, self.ncomp)
+
+    def validate(self, array: np.ndarray, nitems: int) -> None:
+        """Check an array against this spec for a pane of ``nitems``."""
+        expected = self.expected_shape(nitems)
+        squeezed_ok = (
+            self.ncomp == 1 and array.shape == (nitems, 1)
+        )
+        if array.shape != expected and not squeezed_ok:
+            raise ValueError(
+                f"attribute {self.name!r}: shape {array.shape} != expected {expected}"
+            )
+        if np.dtype(self.dtype) != array.dtype:
+            raise ValueError(
+                f"attribute {self.name!r}: dtype {array.dtype} != declared {self.dtype}"
+            )

@@ -1,0 +1,121 @@
+"""C-style procedural bindings for Roccom.
+
+Roccom's interface routines "have different bindings for C, C++, and
+Fortran 90, with similar semantics" (§5).  The object API in
+:mod:`repro.roccom.registry` is the C++ binding analogue; this module
+provides the flat, C-style procedural binding that GENx's C driver and
+Fortran computation modules would call, including Fortran conveniences
+(trailing-blank trimming, the analogue of appending null terminators
+to Fortran strings).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .attribute import AttributeSpec
+from .registry import Roccom
+
+__all__ = [
+    "COM_init",
+    "COM_finalize",
+    "COM_new_window",
+    "COM_delete_window",
+    "COM_new_attribute",
+    "COM_register_pane",
+    "COM_set_array",
+    "COM_get_array",
+    "COM_register_function",
+    "COM_call_function",
+    "COM_load_module",
+    "COM_unload_module",
+    "COM_get_com",
+    "f90_string",
+]
+
+_active: Optional[Roccom] = None
+
+
+def f90_string(s: str) -> str:
+    """Normalize a Fortran-style blank-padded string."""
+    return s.rstrip(" ")
+
+
+def COM_init(ctx=None) -> Roccom:
+    """Create and activate the process-global Roccom instance."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("Roccom already initialized; call COM_finalize first")
+    _active = Roccom(ctx)
+    return _active
+
+
+def COM_finalize() -> None:
+    """Deactivate and discard the process-global Roccom instance."""
+    global _active
+    _active = None
+
+
+def COM_get_com() -> Roccom:
+    """The active process-global Roccom instance."""
+    if _active is None:
+        raise RuntimeError("Roccom not initialized; call COM_init first")
+    return _active
+
+
+def COM_new_window(name: str) -> None:
+    """Create a window: ``COM_new_window("Fluid")``."""
+    COM_get_com().new_window(f90_string(name))
+
+
+def COM_delete_window(name: str) -> None:
+    """Delete a window and everything registered in it."""
+    COM_get_com().delete_window(f90_string(name))
+
+
+def COM_new_attribute(
+    window_attr: str, location: str, ncomp: int = 1, dtype: str = "f8", unit: str = ""
+) -> None:
+    """Declare an attribute: ``COM_new_attribute("Fluid.pressure", "element")``."""
+    window_name, _, attr = f90_string(window_attr).partition(".")
+    spec = AttributeSpec(attr, location=location, ncomp=ncomp, dtype=dtype, unit=unit)
+    COM_get_com().window(window_name).declare_attribute(spec)
+
+
+def COM_register_pane(window: str, pane_id: int, nnodes: int, nelems: int) -> None:
+    """Register a local data block as a pane of a window."""
+    COM_get_com().window(f90_string(window)).register_pane(pane_id, nnodes, nelems)
+
+
+def COM_set_array(window_attr: str, pane_id: int, array) -> None:
+    """Register a pane's array: ``COM_set_array("Fluid.pressure", 3, p)``."""
+    COM_get_com().set_array(f90_string(window_attr), pane_id, array)
+
+
+def COM_get_array(window_attr: str, pane_id: int):
+    """Retrieve a registered array by qualified name and pane id."""
+    return COM_get_com().get_array(f90_string(window_attr), pane_id)
+
+
+def COM_register_function(window_func: str, fn) -> None:
+    """Register a public function: ``COM_register_function("W.solve", f)``."""
+    window_name, _, func = f90_string(window_func).partition(".")
+    COM_get_com().window(window_name).register_function(func, fn)
+
+
+def COM_call_function(window_func: str, *args, **kwargs):
+    """Generator: invoke a registered function (drive with ``yield from``)."""
+    result = yield from COM_get_com().call_function(
+        f90_string(window_func), *args, **kwargs
+    )
+    return result
+
+
+def COM_load_module(module, *args, **kwargs):
+    """Load a service module into the active Roccom (§5)."""
+    return COM_get_com().load_module(module, *args, **kwargs)
+
+
+def COM_unload_module(name: str) -> None:
+    """Unload a service module by name."""
+    COM_get_com().unload_module(f90_string(name))

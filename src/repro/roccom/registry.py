@@ -1,0 +1,134 @@
+"""The per-process Roccom registry and COM_call_function dispatch.
+
+One :class:`Roccom` instance lives on each rank; modules create windows
+in it, register their data and functions, and invoke each other's
+functions by qualified name (``"Window.function"``) without compile-
+time coupling — the mechanism that lets GENx swap Rocpanda and Rochdf
+by loading a different module (§5).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Optional
+
+from .window import Window
+
+__all__ = ["Roccom"]
+
+
+class Roccom:
+    """Per-process component registry."""
+
+    def __init__(self, ctx=None):
+        #: The owning rank's context (None outside a simulation).
+        self.ctx = ctx
+        self._windows: Dict[str, Window] = {}
+        self._modules: Dict[str, Any] = {}
+
+    # -- windows -----------------------------------------------------------
+    def new_window(self, name: str) -> Window:
+        if name in self._windows:
+            raise ValueError(f"window {name!r} already exists")
+        window = Window(name)
+        self._windows[name] = window
+        return window
+
+    def window(self, name: str) -> Window:
+        try:
+            return self._windows[name]
+        except KeyError:
+            raise KeyError(f"no window named {name!r}") from None
+
+    def has_window(self, name: str) -> bool:
+        return name in self._windows
+
+    def delete_window(self, name: str) -> None:
+        try:
+            del self._windows[name]
+        except KeyError:
+            raise KeyError(f"no window named {name!r}") from None
+
+    def window_names(self) -> List[str]:
+        return sorted(self._windows)
+
+    # -- qualified data access ------------------------------------------------
+    def get_array(self, qualified: str, pane_id: int):
+        """``get_array("Fluid.pressure", pane_id)``."""
+        window_name, attr = self._split(qualified)
+        return self.window(window_name).get_array(attr, pane_id)
+
+    def set_array(self, qualified: str, pane_id: int, array) -> None:
+        window_name, attr = self._split(qualified)
+        self.window(window_name).set_array(attr, pane_id, array)
+
+    # -- function dispatch -------------------------------------------------------
+    def call_function(self, qualified: str, *args, **kwargs):
+        """Generator: invoke ``"Window.function"``; returns its result.
+
+        Works uniformly for plain functions and DES generator functions
+        (the registered I/O operations are generators); plain results
+        are returned without yielding.  Always drive it with
+        ``yield from`` inside a rank process.
+        """
+        fn = self._resolve(qualified)
+        result = fn(*args, **kwargs)
+        if inspect.isgenerator(result):
+            result = yield from result
+        return result
+
+    def call_sync(self, qualified: str, *args, **kwargs):
+        """Invoke a non-blocking registered function directly."""
+        fn = self._resolve(qualified)
+        result = fn(*args, **kwargs)
+        if inspect.isgenerator(result):
+            raise TypeError(
+                f"{qualified} is a blocking (generator) function; use "
+                f"'yield from com.call_function(...)'"
+            )
+        return result
+
+    def _resolve(self, qualified: str) -> Callable:
+        window_name, func = self._split(qualified)
+        return self.window(window_name).function(func)
+
+    @staticmethod
+    def _split(qualified: str):
+        if "." not in qualified:
+            raise ValueError(
+                f"expected 'Window.member' qualified name, got {qualified!r}"
+            )
+        window_name, _, member = qualified.partition(".")
+        return window_name, member
+
+    # -- module lifecycle -----------------------------------------------------
+    def load_module(self, module, *args, **kwargs):
+        """Load a service module: calls ``module.load(self, ...)``.
+
+        The module's ``load`` creates its window(s) and registers its
+        interface functions (§5: "The load_module routine creates a
+        window in Roccom, registers a Rocpanda or Rochdf object in the
+        window, and associates user interface functions...").
+        """
+        name = module.name
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already loaded")
+        module.load(self, *args, **kwargs)
+        self._modules[name] = module
+        return module
+
+    def unload_module(self, name: str) -> None:
+        try:
+            module = self._modules.pop(name)
+        except KeyError:
+            raise KeyError(f"module {name!r} is not loaded") from None
+        module.unload(self)
+
+    def loaded_modules(self) -> List[str]:
+        return sorted(self._modules)
+
+    def module(self, name: str):
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(f"module {name!r} is not loaded") from None

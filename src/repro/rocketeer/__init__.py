@@ -1,0 +1,21 @@
+"""Rocketeer: snapshot post-processing and terminal visualization.
+
+The ingestion side of CSAR's visualization tool (§3.1, Fig 1(b)):
+reads snapshot files written by any of the I/O services (individual or
+collective layout), reassembles the distributed blocks into global
+views, and renders axial profiles / time series as text.
+"""
+
+from .reader import Snapshot, SnapshotSeries, discover_snapshots, load_snapshot
+from .render import axial_profile, render_profile, sparkline, summary_report
+
+__all__ = [
+    "Snapshot",
+    "SnapshotSeries",
+    "load_snapshot",
+    "discover_snapshots",
+    "axial_profile",
+    "render_profile",
+    "sparkline",
+    "summary_report",
+]

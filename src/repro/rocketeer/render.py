@@ -1,0 +1,109 @@
+"""Text rendering of snapshot data (Rocketeer's terminal cousin).
+
+Rocketeer produces images like Fig 1(b); this module produces the
+terminal equivalents a simulation engineer actually greps: axial
+profiles, per-window summaries, and time-series sparklines — all built
+only from the snapshot files, never from simulation memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .reader import Snapshot, SnapshotSeries
+
+__all__ = ["axial_profile", "render_profile", "sparkline", "summary_report"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def axial_profile(
+    snapshot: Snapshot,
+    window: str,
+    attr: str,
+    nbins: int = 24,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean field value binned along the rocket axis (z).
+
+    Element-located fields are attributed to the mean z of each block
+    (block-granular, like a coarse visualization LoD); returns
+    ``(bin_centers, means)`` with NaN for empty bins.
+    """
+    blocks = snapshot.window(window)
+    zs, values = [], []
+    for block in blocks.values():
+        if attr not in block.arrays or "coords" not in block.arrays:
+            continue
+        z = float(block.arrays["coords"][:, 2].mean())
+        zs.append(z)
+        values.append(float(block.arrays[attr].mean()))
+    if not zs:
+        raise KeyError(f"no usable blocks for {window}.{attr}")
+    zs = np.asarray(zs)
+    values = np.asarray(values)
+    edges = np.linspace(zs.min(), zs.max() + 1e-12, nbins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    means = np.full(nbins, np.nan)
+    idx = np.clip(np.digitize(zs, edges) - 1, 0, nbins - 1)
+    for b in range(nbins):
+        mask = idx == b
+        if mask.any():
+            means[b] = values[mask].mean()
+    return centers, means
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (NaNs become spaces)."""
+    arr = np.asarray(list(values), dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * len(arr)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_BARS[4])
+        else:
+            out.append(_BARS[1 + int((v - lo) / span * (len(_BARS) - 2))])
+    return "".join(out)
+
+
+def render_profile(
+    snapshot: Snapshot, window: str, attr: str, nbins: int = 24
+) -> str:
+    """One-line axial profile: label, sparkline, range."""
+    _, means = axial_profile(snapshot, window, attr, nbins)
+    finite = means[np.isfinite(means)]
+    return (
+        f"{window}.{attr:<14s} |{sparkline(means)}| "
+        f"[{finite.min():.4g}, {finite.max():.4g}]"
+    )
+
+
+def summary_report(series: SnapshotSeries, fields: Dict[str, List[str]]) -> str:
+    """Multi-snapshot report: per-field stats at first/last + sparkline.
+
+    ``fields`` maps window label -> list of attrs, e.g.
+    ``{"rocflo": ["pressure"], "rocburn": ["burn_distance"]}``.
+    """
+    lines = [
+        f"run {series.run!r}: {len(series)} snapshots at steps {series.steps}",
+        f"blocks: {series.first().nblocks}, total cells (first): "
+        f"{series.first().total_cells}",
+        "",
+    ]
+    for window, attrs in fields.items():
+        for attr in attrs:
+            trend = [v for _, v in series.time_series(window, attr)]
+            first = series.first().field_stats(window, attr)
+            last = series.last().field_stats(window, attr)
+            lines.append(
+                f"{window}.{attr:<14s} mean {first['mean']:.5g} -> "
+                f"{last['mean']:.5g}   trend |{sparkline(trend)}|"
+            )
+    return "\n".join(lines)

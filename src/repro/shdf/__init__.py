@@ -1,0 +1,50 @@
+"""SHDF: the scientific hierarchical data format substrate.
+
+Stands in for HDF4/HDF5: a self-describing container of datasets with
+attributes, a real binary codec (bit-exact round-trips), and timing
+drivers reproducing the HDF4-linear vs HDF5-logarithmic metadata
+scaling the paper's design decisions hinge on.
+"""
+
+from .codec_v2 import (
+    decode_file_v2,
+    detect_version,
+    encode_file_v2,
+    read_dataset_at,
+    read_index,
+)
+from .codec import (
+    CodecError,
+    decode_file,
+    decode_header,
+    encode_dataset,
+    encode_file,
+    encode_header,
+    iter_records,
+)
+from .drivers import HDFDriver, hdf4_driver, hdf5_driver, raw_driver
+from .file import SHDFReader, SHDFWriter
+from .model import Dataset, FileImage
+
+__all__ = [
+    "Dataset",
+    "FileImage",
+    "CodecError",
+    "encode_file",
+    "decode_file",
+    "encode_header",
+    "decode_header",
+    "encode_dataset",
+    "iter_records",
+    "encode_file_v2",
+    "decode_file_v2",
+    "detect_version",
+    "read_index",
+    "read_dataset_at",
+    "HDFDriver",
+    "hdf4_driver",
+    "hdf5_driver",
+    "raw_driver",
+    "SHDFReader",
+    "SHDFWriter",
+]

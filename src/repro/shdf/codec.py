@@ -1,0 +1,285 @@
+"""Binary codec for SHDF: portable, self-describing, append-friendly.
+
+Layout::
+
+    header  := MAGIC "SHDF" | u16 version | attrs
+    record  := MAGIC "DSET" | str16 name | attrs | str16 dtype
+               | u8 ndim | u64*ndim dims | u64 nbytes | raw data
+    attrs   := u32 count | (str16 name | value)*
+    value   := u8 tag | payload        (None/bool/int/float/str/bytes/
+                                        ndarray/list)
+
+All integers little-endian.  Records are written sequentially, so a
+file can be *appended to* without rewriting (this mirrors HDF4's
+linearly-growing file directory: finding a dataset requires a scan,
+which is what the HDF4 timing driver charges for).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, List, Tuple
+
+import numpy as np
+
+from .model import Dataset, FileImage
+
+__all__ = [
+    "CodecError",
+    "encode_header",
+    "encode_dataset",
+    "encode_file",
+    "decode_file",
+    "decode_header",
+    "iter_records",
+]
+
+FILE_MAGIC = b"SHDF"
+RECORD_MAGIC = b"DSET"
+VERSION = 1
+
+_TAG_NONE = 0
+_TAG_BOOL = 1
+_TAG_INT = 2
+_TAG_FLOAT = 3
+_TAG_STR = 4
+_TAG_BYTES = 5
+_TAG_NDARRAY = 6
+_TAG_LIST = 7
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class CodecError(ValueError):
+    """Raised on malformed SHDF bytes or unencodable values."""
+
+
+# -- low-level pieces -------------------------------------------------------
+
+def _pack_str16(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long ({len(raw)} bytes)")
+    return struct.pack("<H", len(raw)) + raw
+
+
+class _Reader:
+    def __init__(self, buf: bytes, pos: int = 0):
+        self.buf = buf
+        self.pos = pos
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.buf):
+            raise CodecError("truncated SHDF data")
+        out = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def str16(self) -> str:
+        n = self.u16()
+        return self.take(n).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.buf)
+
+
+def _encode_value(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(bytes([_TAG_NONE]))
+    elif isinstance(value, (bool, np.bool_)):
+        out.append(bytes([_TAG_BOOL, 1 if value else 0]))
+    elif isinstance(value, (int, np.integer)):
+        iv = int(value)
+        if not _I64_MIN <= iv <= _I64_MAX:
+            raise CodecError(f"integer attribute out of i64 range: {iv}")
+        out.append(bytes([_TAG_INT]) + struct.pack("<q", iv))
+    elif isinstance(value, (float, np.floating)):
+        out.append(bytes([_TAG_FLOAT]) + struct.pack("<d", float(value)))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(bytes([_TAG_STR]) + struct.pack("<I", len(raw)) + raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(bytes([_TAG_BYTES]) + struct.pack("<I", len(value)) + bytes(value))
+    elif isinstance(value, np.ndarray):
+        if value.dtype == object:
+            raise CodecError("object-dtype attribute arrays are not storable")
+        arr = np.asarray(value, order="C")  # keeps 0-d shape intact
+        out.append(bytes([_TAG_NDARRAY]))
+        out.append(_pack_str16(arr.dtype.str))
+        out.append(bytes([arr.ndim]))
+        out.append(struct.pack(f"<{arr.ndim}Q", *arr.shape) if arr.ndim else b"")
+        out.append(arr.tobytes())
+    elif isinstance(value, (list, tuple)):
+        out.append(bytes([_TAG_LIST]) + struct.pack("<I", len(value)))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise CodecError(f"unencodable attribute value: {type(value).__name__}")
+
+
+def _decode_value(reader: _Reader) -> Any:
+    tag = reader.u8()
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        return bool(reader.u8())
+    if tag == _TAG_INT:
+        return reader.i64()
+    if tag == _TAG_FLOAT:
+        return reader.f64()
+    if tag == _TAG_STR:
+        n = reader.u32()
+        return reader.take(n).decode("utf-8")
+    if tag == _TAG_BYTES:
+        n = reader.u32()
+        return reader.take(n)
+    if tag == _TAG_NDARRAY:
+        dtype = np.dtype(reader.str16())
+        ndim = reader.u8()
+        shape = tuple(reader.u64() for _ in range(ndim))
+        count = int(np.prod(shape)) if shape else 1
+        raw = reader.take(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if tag == _TAG_LIST:
+        n = reader.u32()
+        return [_decode_value(reader) for _ in range(n)]
+    raise CodecError(f"unknown attribute tag {tag}")
+
+
+def _encode_attrs(attrs: dict) -> bytes:
+    out: List[bytes] = [struct.pack("<I", len(attrs))]
+    for name, value in attrs.items():
+        out.append(_pack_str16(name))
+        _encode_value(value, out)
+    return b"".join(out)
+
+
+def _decode_attrs(reader: _Reader) -> dict:
+    count = reader.u32()
+    attrs = {}
+    for _ in range(count):
+        name = reader.str16()
+        attrs[name] = _decode_value(reader)
+    return attrs
+
+
+# -- public API --------------------------------------------------------------
+
+def encode_header(attrs: dict) -> bytes:
+    """File header bytes: magic, version, file attributes."""
+    return FILE_MAGIC + struct.pack("<H", VERSION) + _encode_attrs(attrs)
+
+
+def encode_dataset(dataset: Dataset) -> bytes:
+    """One appendable dataset record."""
+    arr = dataset.data
+    parts = [
+        RECORD_MAGIC,
+        _pack_str16(dataset.name),
+        _encode_attrs(dataset.attrs),
+        _pack_str16(arr.dtype.str),
+        bytes([arr.ndim]),
+        struct.pack(f"<{arr.ndim}Q", *arr.shape) if arr.ndim else b"",
+        struct.pack("<Q", arr.nbytes),
+        arr.tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def encode_file(image: FileImage) -> bytes:
+    """Full file bytes for an in-memory image."""
+    parts = [encode_header(image.attrs)]
+    parts.extend(encode_dataset(d) for d in image)
+    return b"".join(parts)
+
+
+def decode_header(buf: bytes) -> Tuple[dict, int]:
+    """Decode the header; returns (file_attrs, offset_after_header).
+
+    Accepts both format versions (their headers are identical except
+    for the version number); use :func:`repro.shdf.codec_v2.detect_version`
+    to dispatch on the version itself.
+    """
+    reader = _Reader(buf)
+    if reader.take(4) != FILE_MAGIC:
+        raise CodecError("not an SHDF file (bad magic)")
+    version = reader.u16()
+    if version not in (1, 2):
+        raise CodecError(f"unsupported SHDF version {version}")
+    attrs = _decode_attrs(reader)
+    return attrs, reader.pos
+
+
+def _decode_record(reader: _Reader) -> Dataset:
+    if reader.take(4) != RECORD_MAGIC:
+        raise CodecError("bad dataset record magic")
+    name = reader.str16()
+    attrs = _decode_attrs(reader)
+    dtype = np.dtype(reader.str16())
+    ndim = reader.u8()
+    shape = tuple(reader.u64() for _ in range(ndim))
+    nbytes = reader.u64()
+    raw = reader.take(nbytes)
+    data = np.frombuffer(raw, dtype=dtype)
+    data = data.reshape(shape).copy() if shape else data.copy().reshape(())
+    return Dataset(name, data, attrs)
+
+
+def iter_records(buf: bytes) -> Iterator[Dataset]:
+    """Iterate dataset records of a full file buffer (header first).
+
+    Works for both versions: a v2 file's records are scanned
+    sequentially up to its index block.
+    """
+    _attrs, pos = decode_header(buf)
+    reader = _Reader(buf, pos)
+    while not reader.exhausted:
+        if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
+            break  # v2 index/footer reached
+        yield _decode_record(reader)
+
+
+def decode_file(buf: bytes) -> FileImage:
+    """Decode a full file buffer into a :class:`FileImage`.
+
+    Dispatches on the format version: v1 scans sequentially, v2 reads
+    through the dataset index (falling back to a scan when the index
+    is missing, e.g. an unclosed file).
+    """
+    attrs, pos = decode_header(buf)
+    if struct.unpack("<H", buf[4:6])[0] == 2:
+        from .codec_v2 import decode_file_v2, read_index
+
+        try:
+            read_index(buf)
+        except CodecError:
+            pass  # unclosed v2 file: sequential fallback below
+        else:
+            return decode_file_v2(buf)
+    image = FileImage(attrs)
+    reader = _Reader(buf, pos)
+    while not reader.exhausted:
+        if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
+            break
+        image.add(_decode_record(reader))
+    return image

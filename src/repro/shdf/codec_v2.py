@@ -1,0 +1,144 @@
+"""SHDF version 2: the indexed (B-tree-era) variant of the format.
+
+Version 1 mirrors HDF4: records are found by scanning the file.
+Version 2 mirrors HDF5's structural idea: a **dataset index** at the
+end of the file maps names to record offsets, so a reader can locate
+any dataset without touching the others — the structural counterpart
+of the :func:`~repro.shdf.drivers.hdf5_driver` log-cost timing model.
+
+Layout::
+
+    header   := "SHDF" | u16 version=2 | attrs
+    record*  := (same record encoding as v1)
+    index    := "SIDX" | u32 count | (str16 name | u64 offset | u64 length)*
+    footer   := u64 index_offset | "SEND"
+
+A v2 file is therefore also scannable sequentially (records are
+identical); the index is authoritative when present.  Files are
+re-indexed on close after appends.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .codec import (
+    CodecError,
+    _decode_attrs,
+    _decode_record,
+    _pack_str16,
+    _Reader,
+    encode_dataset,
+    FILE_MAGIC,
+)
+from .model import Dataset, FileImage
+
+__all__ = [
+    "VERSION_2",
+    "encode_header_v2",
+    "encode_index",
+    "encode_file_v2",
+    "decode_file_v2",
+    "read_index",
+    "read_dataset_at",
+    "detect_version",
+]
+
+VERSION_2 = 2
+INDEX_MAGIC = b"SIDX"
+END_MAGIC = b"SEND"
+#: Fixed footer size: u64 index_offset + 4-byte end magic.
+FOOTER_SIZE = 12
+
+
+def detect_version(buf: bytes) -> int:
+    """File format version of a buffer (1 or 2)."""
+    if len(buf) < 6 or buf[:4] != FILE_MAGIC:
+        raise CodecError("not an SHDF file (bad magic)")
+    return struct.unpack("<H", buf[4:6])[0]
+
+
+def encode_header_v2(attrs: dict) -> bytes:
+    from .codec import _encode_attrs
+
+    return FILE_MAGIC + struct.pack("<H", VERSION_2) + _encode_attrs(attrs)
+
+
+def encode_index(entries: List[Tuple[str, int, int]]) -> bytes:
+    """Index block for ``(name, offset, length)`` entries."""
+    parts = [INDEX_MAGIC, struct.pack("<I", len(entries))]
+    for name, offset, length in entries:
+        parts.append(_pack_str16(name))
+        parts.append(struct.pack("<QQ", offset, length))
+    return b"".join(parts)
+
+
+def encode_file_v2(image: FileImage) -> bytes:
+    """Full v2 bytes: header, records, index, footer."""
+    header = encode_header_v2(image.attrs)
+    parts = [header]
+    entries: List[Tuple[str, int, int]] = []
+    offset = len(header)
+    for dataset in image:
+        record = encode_dataset(dataset)
+        entries.append((dataset.name, offset, len(record)))
+        parts.append(record)
+        offset += len(record)
+    index = encode_index(entries)
+    parts.append(index)
+    parts.append(struct.pack("<Q", offset) + END_MAGIC)
+    return b"".join(parts)
+
+
+def read_index(buf: bytes) -> Dict[str, Tuple[int, int]]:
+    """Parse the footer + index: name -> (offset, length).
+
+    Raises :class:`CodecError` when the footer/index is missing or
+    corrupt (e.g. the writer crashed before close) — callers may then
+    fall back to a sequential scan.
+    """
+    if len(buf) < FOOTER_SIZE:
+        raise CodecError("v2 file too short for a footer")
+    if buf[-4:] != END_MAGIC:
+        raise CodecError("v2 footer missing (file not closed?)")
+    (index_offset,) = struct.unpack("<Q", buf[-12:-4])
+    if index_offset >= len(buf) - FOOTER_SIZE:
+        raise CodecError("v2 index offset out of range")
+    reader = _Reader(buf, index_offset)
+    if reader.take(4) != INDEX_MAGIC:
+        raise CodecError("bad v2 index magic")
+    count = reader.u32()
+    index: Dict[str, Tuple[int, int]] = {}
+    for _ in range(count):
+        name = reader.str16()
+        offset = reader.u64()
+        length = reader.u64()
+        if offset + length > index_offset:
+            raise CodecError(f"index entry {name!r} overlaps the index")
+        index[name] = (offset, length)
+    return index
+
+
+def read_dataset_at(buf: bytes, offset: int) -> Dataset:
+    """Decode one record at a known offset (random access)."""
+    return _decode_record(_Reader(buf, offset))
+
+
+def decode_file_v2(buf: bytes) -> FileImage:
+    """Decode a full v2 buffer via its index."""
+    if detect_version(buf) != VERSION_2:
+        raise CodecError("not a v2 SHDF file")
+    reader = _Reader(buf, 6)
+    attrs = _decode_attrs(reader)
+    image = FileImage(attrs)
+    index = read_index(buf)
+    # Preserve on-disk record order (insertion order of the writer).
+    for name, (offset, _length) in sorted(index.items(), key=lambda kv: kv[1][0]):
+        dataset = read_dataset_at(buf, offset)
+        if dataset.name != name:
+            raise CodecError(
+                f"index entry {name!r} points at record {dataset.name!r}"
+            )
+        image.add(dataset)
+    return image

@@ -1,0 +1,145 @@
+"""Object model of the scientific hierarchical data format (SHDF).
+
+SHDF stands in for HDF4/HDF5 in this reproduction: a self-describing
+container of named datasets (typed n-d arrays), each with its own
+attributes, plus file-level attributes.  Files produced by GENx are
+"organized by data blocks, with data from different arrays in the same
+data block stored in neighboring datasets" (§4) — the neighbor-ordering
+is preserved because SHDF keeps datasets in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["Dataset", "FileImage"]
+
+#: Attribute value types the codec supports.
+ATTR_TYPES = (type(None), bool, int, float, str, bytes, np.ndarray, list, tuple)
+
+
+def _validate_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise TypeError(f"attribute name must be str, got {type(key).__name__}")
+        if not isinstance(value, ATTR_TYPES):
+            raise TypeError(
+                f"unsupported attribute type for {key!r}: {type(value).__name__}"
+            )
+    return dict(attrs)
+
+
+class Dataset:
+    """A named, typed n-dimensional array with attributes."""
+
+    def __init__(self, name: str, data: np.ndarray, attrs: Optional[Dict[str, Any]] = None):
+        if not isinstance(name, str) or not name:
+            raise ValueError("dataset name must be a non-empty string")
+        if not isinstance(data, np.ndarray):
+            raise TypeError("dataset data must be a numpy array")
+        if data.dtype == object:
+            raise TypeError("object-dtype arrays are not storable")
+        self.name = name
+        # note: np.ascontiguousarray would promote 0-d arrays to 1-d
+        self.data = np.asarray(data, order="C")
+        self.attrs = _validate_attrs(attrs or {})
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.data.dtype == other.data.dtype
+            and self.data.shape == other.data.shape
+            and np.array_equal(self.data, other.data, equal_nan=True)
+            and _attrs_equal(self.attrs, other.attrs)
+        )
+
+    def __repr__(self) -> str:
+        return f"<Dataset {self.name!r} {self.dtype}{list(self.shape)}>"
+
+
+def _attrs_equal(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    if set(a) != set(b):
+        return False
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not (
+                isinstance(va, np.ndarray)
+                and isinstance(vb, np.ndarray)
+                and va.dtype == vb.dtype
+                and va.shape == vb.shape
+                and np.array_equal(va, vb, equal_nan=True)
+            ):
+                return False
+        elif isinstance(va, (list, tuple)) and isinstance(vb, (list, tuple)):
+            if list(va) != list(vb):
+                return False
+        elif va != vb or type(va) is not type(vb):
+            return False
+    return True
+
+
+class FileImage:
+    """In-memory image of an SHDF file: ordered datasets + file attrs."""
+
+    def __init__(self, attrs: Optional[Dict[str, Any]] = None):
+        self.attrs = _validate_attrs(attrs or {})
+        self._datasets: List[Dataset] = []
+        self._index: Dict[str, int] = {}
+
+    # -- dataset management -------------------------------------------------
+    def add(self, dataset: Dataset) -> None:
+        if dataset.name in self._index:
+            raise ValueError(f"duplicate dataset name {dataset.name!r}")
+        self._index[dataset.name] = len(self._datasets)
+        self._datasets.append(dataset)
+
+    def get(self, name: str) -> Dataset:
+        try:
+            return self._datasets[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no dataset named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets)
+
+    def names(self) -> List[str]:
+        return [d.name for d in self._datasets]
+
+    @property
+    def data_nbytes(self) -> int:
+        return sum(d.nbytes for d in self._datasets)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FileImage):
+            return NotImplemented
+        return (
+            _attrs_equal(self.attrs, other.attrs)
+            and len(self) == len(other)
+            and all(a == b for a, b in zip(self, other))
+        )
+
+    def __repr__(self) -> str:
+        return f"<FileImage: {len(self)} datasets, {self.data_nbytes} data bytes>"

@@ -1,0 +1,35 @@
+"""Shared utilities: units, statistics, and tracing."""
+
+from .stats import Summary, best_of, mean_ci, t_critical_95
+from .trace import TraceRecord, Tracer
+from .units import (
+    GB,
+    KB,
+    MB,
+    MINUTE,
+    MSEC,
+    TB,
+    USEC,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_time,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "USEC",
+    "MSEC",
+    "MINUTE",
+    "fmt_bytes",
+    "fmt_bandwidth",
+    "fmt_time",
+    "Summary",
+    "best_of",
+    "mean_ci",
+    "t_critical_95",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,81 @@
+"""Small statistics helpers for the benchmark harness.
+
+The paper reports Turing numbers as the *best of five consecutive runs*
+(shared, unscheduled nodes) and Frost numbers as the *mean of three runs
+with 95% confidence intervals*.  These helpers implement exactly those
+two summaries without requiring scipy at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "best_of", "mean_ci", "t_critical_95"]
+
+# Two-sided 95% Student-t critical values for df = 1..30 (then normal).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.960
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A summarized sample: central value plus a half-width error bar."""
+
+    value: float
+    halfwidth: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.value - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.value + self.halfwidth
+
+    def __str__(self) -> str:
+        if self.halfwidth:
+            return f"{self.value:.2f} ± {self.halfwidth:.2f}"
+        return f"{self.value:.2f}"
+
+
+def best_of(samples: Sequence[float]) -> Summary:
+    """Best (minimum) of the samples — the paper's Turing methodology."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("need at least one sample")
+    return Summary(value=min(samples), halfwidth=0.0, n=len(samples))
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Mean with a 95% CI half-width — the paper's Frost methodology.
+
+    With a single sample the half-width is 0 (no variance information).
+    Only ``confidence == 0.95`` is supported (matching the paper).
+    """
+    if confidence != 0.95:
+        raise ValueError("only 95% confidence supported")
+    samples = list(samples)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return Summary(value=mean, halfwidth=0.0, n=1)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(var / n)
+    return Summary(value=mean, halfwidth=t_critical_95(n - 1) * sem, n=n)

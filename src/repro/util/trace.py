@@ -1,0 +1,51 @@
+"""Structured event tracing for simulations.
+
+A :class:`Tracer` collects ``(time, category, rank, message)`` records.
+It is cheap when disabled (the default) and lets tests and examples
+inspect exactly what the I/O libraries did and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    rank: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] r{self.rank:<4d} {self.category:<12s} {self.message}"
+
+
+class Tracer:
+    """Collects trace records; disabled tracers drop records for free."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: float, category: str, rank: int, message: str) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, rank, message))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def by_rank(self, rank: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.rank == rank]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self) -> str:
+        return "\n".join(str(r) for r in self.records)

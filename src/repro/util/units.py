@@ -1,0 +1,55 @@
+"""Unit constants and formatting helpers.
+
+Simulated time is in **seconds**; data sizes in **bytes**; bandwidths in
+**bytes/second**.  These helpers keep hardware model parameters legible.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "USEC",
+    "MSEC",
+    "MINUTE",
+    "fmt_bytes",
+    "fmt_bandwidth",
+    "fmt_time",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+USEC = 1e-6
+MSEC = 1e-3
+MINUTE = 60.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count: ``fmt_bytes(3*MB) == '3.00 MB'``."""
+    n = float(n)
+    for unit, div in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Human-readable bandwidth: ``fmt_bandwidth(875*MB) == '875.00 MB/s'``."""
+    return fmt_bytes(bps) + "/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration with µs/ms/s/min scaling."""
+    s = float(seconds)
+    if abs(s) < MSEC:
+        return f"{s / USEC:.1f} us"
+    if abs(s) < 1.0:
+        return f"{s / MSEC:.2f} ms"
+    if abs(s) < 2 * MINUTE:
+        return f"{s:.2f} s"
+    return f"{s / MINUTE:.2f} min"

@@ -1,0 +1,29 @@
+"""Virtual MPI: communicators, p2p + collectives, SPMD launcher.
+
+A faithful-by-construction message-passing layer on the DES kernel:
+real payload objects are delivered (so data-path correctness is
+testable) while transfer times follow the machine's network model.
+"""
+
+from . import placement
+from .comm import Comm, Request
+from .datatypes import ANY_SOURCE, ANY_TAG, Envelope, MPIError, Status, payload_nbytes
+from .launcher import Job, JobResult, RankContext, run_spmd
+from .mailbox import Mailbox
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "Envelope",
+    "MPIError",
+    "payload_nbytes",
+    "Comm",
+    "Request",
+    "Mailbox",
+    "Job",
+    "JobResult",
+    "RankContext",
+    "run_spmd",
+    "placement",
+]

@@ -1,0 +1,350 @@
+"""Communicators: point-to-point messaging with eager/rendezvous protocols.
+
+All blocking calls are generators driven by the owning rank's DES
+process (``yield from comm.send(...)``).  Timing model per message:
+
+* sender software overhead (``NetworkSpec.sw_overhead``);
+* **eager** (size <= eager_threshold): the message is buffered and
+  travels asynchronously; the send returns after the overhead.
+* **rendezvous**: the sender posts a ready-to-send notice (one control
+  latency), then blocks until the receiver matches it, answers with a
+  clear-to-send (one control latency) and pulls the payload through the
+  network (latency + size/bandwidth, queuing on the destination NIC).
+
+This reproduces the back-pressure that matters for Rocpanda: a client
+cannot complete a large send while its I/O server is busy elsewhere —
+which is exactly why the servers' probe-between-writes policy (§6.1)
+keeps client-visible time low.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..des import Environment, Event
+from .datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MODE_EAGER,
+    MODE_RNDV,
+    Envelope,
+    MPIError,
+    Status,
+    payload_nbytes,
+)
+
+__all__ = ["Comm", "Request"]
+
+#: Base of the internal tag space used by collectives.
+_COLL_TAG_BASE = 1 << 20
+
+
+class Request:
+    """Handle for a non-blocking operation (isend/irecv)."""
+
+    def __init__(self, env: Environment):
+        self._event = Event(env)
+
+    @property
+    def complete(self) -> bool:
+        return self._event.triggered
+
+    def wait(self):
+        """Generator: block until the operation completes; returns its value."""
+        value = yield self._event
+        return value
+
+    def test(self) -> bool:
+        return self._event.triggered
+
+
+class Comm:
+    """A communicator handle, bound to one rank.
+
+    Each rank holds its own :class:`Comm` object for a given
+    communicator id (mirroring how MPI communicators behave inside an
+    SPMD program).
+    """
+
+    def __init__(self, job, comm_id: int, group: Tuple[int, ...], rank: int):
+        self.job = job
+        self.id = comm_id
+        #: Global (launcher) ranks of the members, indexed by comm rank.
+        self.group = tuple(group)
+        #: This process's rank within the communicator.
+        self.rank = rank
+        self._coll_seq = 0
+        self._send_seq = 0
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def env(self) -> Environment:
+        return self.job.env
+
+    def global_rank(self, rank: Optional[int] = None) -> int:
+        return self.group[self.rank if rank is None else rank]
+
+    def _node(self, rank: int):
+        return self.job.context(self.group[rank]).node
+
+    def _mailbox(self, rank: int):
+        return self.job.mailbox(self.id, self.group[rank])
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"{what} rank {rank} out of range for size {self.size}")
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0):
+        """Generator: blocking send of ``obj`` to comm rank ``dest``."""
+        self._check_rank(dest, "dest")
+        network = self.job.network
+        env = self.env
+        nbytes = payload_nbytes(obj)
+        src_node = self._node(self.rank)
+        dst_node = self._node(dest)
+        self._send_seq += 1
+        envelope = Envelope(
+            comm_id=self.id,
+            src=self.rank,
+            dst=dest,
+            tag=tag,
+            payload=obj,
+            nbytes=nbytes,
+            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            seq=self._send_seq,
+        )
+        yield env.timeout(network.spec.sw_overhead)
+        if envelope.mode == MODE_EAGER:
+            # Buffered: payload travels on its own; send returns now.
+            def _eager_flight():
+                yield from network.transfer(src_node, dst_node, nbytes)
+                self._mailbox(dest).deliver(envelope)
+
+            env.process(_eager_flight(), name=f"eager:{self.rank}->{dest}")
+            return
+        # Rendezvous: announce, then block until the receiver drains us.
+        envelope.done_event = Event(env)
+        yield from network.control_message(src_node, dst_node)
+        self._mailbox(dest).deliver(envelope)
+        yield envelope.done_event
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: blocking receive; returns ``(payload, Status)``."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        env = self.env
+        network = self.job.network
+        envelope = yield self._mailbox(self.rank).get_matching(source, tag)
+        if envelope.mode == MODE_RNDV:
+            src_node = self._node(envelope.src)
+            dst_node = self._node(self.rank)
+            # Clear-to-send, then pull the payload through the network.
+            yield from network.control_message(dst_node, src_node)
+            yield from network.transfer(src_node, dst_node, envelope.nbytes)
+            envelope.done_event.succeed()
+        yield env.timeout(network.spec.sw_overhead)
+        return envelope.payload, envelope.status()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; returns a :class:`Request`."""
+        request = Request(self.env)
+
+        def _proc():
+            yield from self.send(obj, dest, tag)
+            request._event.succeed(None)
+
+        self.env.process(_proc(), name=f"isend:{self.rank}->{dest}")
+        return request
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` returns ``(payload, Status)``."""
+        request = Request(self.env)
+
+        def _proc():
+            result = yield from self.recv(source, tag)
+            request._event.succeed(result)
+
+        self.env.process(_proc(), name=f"irecv:{self.rank}")
+        return request
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: block until a matching message is available.
+
+        Returns its :class:`Status` without consuming the message.
+        """
+        envelope = yield self._mailbox(self.rank).peek_matching(source, tag)
+        return envelope.status()
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Immediate probe: Status of a matching pending message, or None."""
+        envelope = self._mailbox(self.rank).find(source, tag)
+        return None if envelope is None else envelope.status()
+
+    # -- collectives ---------------------------------------------------------
+    def _coll_tag(self) -> int:
+        """Internal tag for the next collective call.
+
+        All members must invoke collectives in the same order (standard
+        MPI requirement), so the per-rank counter stays aligned.
+        """
+        self._coll_seq += 1
+        return _COLL_TAG_BASE + self._coll_seq
+
+    def barrier(self):
+        """Generator: block until every member has entered the barrier."""
+        yield from self.gather(None, root=0, _tag=self._coll_tag())
+        yield from self.bcast(None, root=0, _tag=self._coll_tag())
+
+    def bcast(self, obj: Any, root: int = 0, _tag: Optional[int] = None):
+        """Generator: broadcast ``obj`` from ``root``; returns the object.
+
+        Binomial-tree propagation: latency scales as O(log P).
+        """
+        self._check_rank(root, "root")
+        tag = self._coll_tag() if _tag is None else _tag
+        size = self.size
+        if size == 1:
+            return obj
+        # Rotate so the root is virtual rank 0 (MPICH binomial scheme).
+        vrank = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                src = (self.rank - mask) % size
+                obj, _ = yield from self.recv(source=src, tag=tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < size:
+                dst = (self.rank + mask) % size
+                yield from self.send(obj, dest=dst, tag=tag)
+            mask >>= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0, _tag: Optional[int] = None):
+        """Generator: gather one object per rank to ``root``.
+
+        Returns the list (indexed by comm rank) at the root, else None.
+        """
+        self._check_rank(root, "root")
+        tag = self._coll_tag() if _tag is None else _tag
+        if self.rank != root:
+            yield from self.send(obj, dest=root, tag=tag)
+            return None
+        result: List[Any] = [None] * self.size
+        result[root] = obj
+        # Receive in arrival order (cheaper matching than per-source
+        # receives); placement by status keeps rank order in the result.
+        for _ in range(self.size - 1):
+            payload, status = yield from self.recv(source=ANY_SOURCE, tag=tag)
+            result[status.source] = payload
+        return result
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0, _tag: Optional[int] = None):
+        """Generator: root sends ``objs[i]`` to rank ``i``; returns own item."""
+        self._check_rank(root, "root")
+        tag = self._coll_tag() if _tag is None else _tag
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise MPIError(
+                    f"scatter root needs a list of exactly {self.size} items"
+                )
+            for dst in range(self.size):
+                if dst == root:
+                    continue
+                yield from self.send(objs[dst], dest=dst, tag=tag)
+            return objs[root]
+        payload, _ = yield from self.recv(source=root, tag=tag)
+        return payload
+
+    def allgather(self, obj: Any):
+        """Generator: gather to rank 0, then broadcast the list."""
+        tag_g = self._coll_tag()
+        tag_b = self._coll_tag()
+        gathered = yield from self.gather(obj, root=0, _tag=tag_g)
+        result = yield from self.bcast(gathered, root=0, _tag=tag_b)
+        return result
+
+    def reduce(self, obj: Any, op=None, root: int = 0):
+        """Generator: reduce with binary ``op`` (default addition) at root."""
+        if op is None:
+            op = lambda a, b: a + b
+        tag = self._coll_tag()
+        gathered = yield from self.gather(obj, root=root, _tag=tag)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op=None):
+        """Generator: reduce at rank 0, then broadcast the result."""
+        reduced = yield from self.reduce(obj, op=op, root=0)
+        tag = self._coll_tag()
+        result = yield from self.bcast(reduced, root=0, _tag=tag)
+        return result
+
+    def alltoall(self, objs: List[Any]):
+        """Generator: pairwise exchange; returns list indexed by source."""
+        if len(objs) != self.size:
+            raise MPIError(f"alltoall needs exactly {self.size} items")
+        tag = self._coll_tag()
+        result: List[Any] = [None] * self.size
+        result[self.rank] = objs[self.rank]
+        requests = []
+        for dst in range(self.size):
+            if dst != self.rank:
+                requests.append(self.isend(objs[dst], dest=dst, tag=tag))
+        for _ in range(self.size - 1):
+            payload, status = yield from self.recv(source=ANY_SOURCE, tag=tag)
+            result[status.source] = payload
+        for request in requests:
+            yield from request.wait()
+        return result
+
+    # -- communicator management ----------------------------------------------
+    def split(self, color: Optional[int], key: Optional[int] = None):
+        """Generator: split into sub-communicators by ``color``.
+
+        Ranks passing ``color=None`` receive ``None`` (MPI_UNDEFINED).
+        Within a color, ranks are ordered by ``(key, old rank)``.
+        This is how Rocpanda partitions MPI_COMM_WORLD into the client
+        communicator and the server communicator at initialization
+        (§4.1).
+        """
+        entry = (color, self.rank if key is None else key, self.rank)
+        entries = yield from self.gather(entry, root=0, _tag=self._coll_tag())
+        assignments = None
+        if self.rank == 0:
+            colors = sorted({c for c, _, _ in entries if c is not None})
+            plans = {}
+            for c in colors:
+                members = sorted(
+                    [(k, r) for cc, k, r in entries if cc == c]
+                )
+                ranks = [r for _, r in members]
+                new_id = self.job.alloc_comm_id()
+                group = tuple(self.group[r] for r in ranks)
+                for new_rank, old_rank in enumerate(ranks):
+                    plans[old_rank] = (new_id, group, new_rank)
+            assignments = [plans.get(r) for r in range(self.size)]
+        my_plan = yield from self.scatter(assignments, root=0, _tag=self._coll_tag())
+        if my_plan is None:
+            return None
+        new_id, group, new_rank = my_plan
+        return Comm(self.job, new_id, group, new_rank)
+
+    def dup(self):
+        """Generator: duplicate this communicator (fresh message space)."""
+        new_comm = yield from self.split(color=0, key=self.rank)
+        return new_comm
+
+    def __repr__(self) -> str:
+        return f"<Comm id={self.id} rank={self.rank}/{self.size}>"

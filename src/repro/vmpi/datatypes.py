@@ -1,0 +1,90 @@
+"""Common vmpi types: wildcards, status, message envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "Envelope",
+    "MPIError",
+    "payload_nbytes",
+]
+
+#: Wildcard source for recv/probe.
+ANY_SOURCE = -1
+#: Wildcard tag for recv/probe.
+ANY_TAG = -1
+
+#: Protocol modes.
+MODE_EAGER = "eager"
+MODE_RNDV = "rndv"
+
+
+class MPIError(RuntimeError):
+    """Raised on misuse of the vmpi API."""
+
+
+@dataclass(frozen=True)
+class Status:
+    """Result metadata of a receive or probe."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class Envelope:
+    """An in-flight message (internal)."""
+
+    comm_id: int
+    src: int  # comm-local source rank
+    dst: int  # comm-local destination rank
+    tag: int
+    payload: Any
+    nbytes: int
+    mode: str
+    seq: int
+    #: Fired when the payload transfer completes (rendezvous mode).
+    done_event: Any = None
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, self.src)) and (tag in (ANY_TAG, self.tag))
+
+    def status(self) -> Status:
+        return Status(source=self.src, tag=self.tag, nbytes=self.nbytes)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimated wire size of a message payload in bytes.
+
+    NumPy arrays and buffer-like objects report their true size; small
+    Python structures are estimated structurally.  The constant for
+    opaque objects is deliberately small — control messages in the I/O
+    protocols are tiny compared to data blocks.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    nb = getattr(obj, "nbytes", None)
+    if nb is not None:
+        try:
+            return int(nb)
+        except (TypeError, ValueError):
+            pass
+    if isinstance(obj, str):
+        return 48 + len(obj)
+    if isinstance(obj, (int, float, bool, type(None))):
+        return 16
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 48 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 64 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return 64

@@ -1,0 +1,223 @@
+"""SPMD job launcher: binds rank processes to a machine and runs them.
+
+``run_spmd(machine, nprocs, main)`` starts ``nprocs`` DES processes,
+each executing the generator function ``main(ctx)`` with its own
+:class:`RankContext` (rank, world communicator, compute/timing helpers,
+filesystem access).  It returns a :class:`JobResult` with every rank's
+return value and run-level metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.machine import Machine
+from ..cluster.node import ROLE_COMPUTE, ROLE_SERVER
+from ..des import Environment, SimulationError
+from ..util.trace import Tracer
+from .comm import Comm
+from .mailbox import Mailbox
+from . import placement as placement_policies
+
+__all__ = ["RankContext", "Job", "JobResult", "run_spmd"]
+
+
+class RankContext:
+    """Everything one SPMD rank needs: identity, comms, time, storage."""
+
+    def __init__(self, job: "Job", rank: int, node, cpu):
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.cpu = cpu
+        #: MPI_COMM_WORLD equivalent for this rank.
+        self.world = Comm(job, comm_id=0, group=tuple(range(job.nprocs)), rank=rank)
+        #: Per-rank deterministic RNG stream.
+        self.rng = np.random.default_rng((job.machine.seed << 20) ^ (rank + 1))
+        #: Total simulated seconds spent in :meth:`compute`.
+        self.compute_time = 0.0
+        #: Scratch dict for application state (e.g. Roccom instance).
+        self.state: Dict[str, Any] = {}
+
+    # -- convenience accessors -------------------------------------------
+    @property
+    def env(self) -> Environment:
+        return self.job.env
+
+    @property
+    def machine(self) -> Machine:
+        return self.job.machine
+
+    @property
+    def fs(self):
+        return self.job.machine.fs
+
+    @property
+    def disk(self):
+        return self.job.machine.disk
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.job.tracer
+
+    @property
+    def now(self) -> float:
+        return self.job.env.now
+
+    # -- actions ------------------------------------------------------------
+    def compute(self, nominal_seconds: float):
+        """Generator: perform ``nominal_seconds`` of computation.
+
+        The wall time charged includes CPU speed, external load and
+        OS-noise effects from the machine model.
+        """
+        actual = self.machine.compute_time(self.node, nominal_seconds)
+        self.compute_time += actual
+        yield self.env.timeout(actual)
+
+    def sleep(self, seconds: float):
+        """Generator: idle wait (no compute accounting)."""
+        yield self.env.timeout(seconds)
+
+    def memcpy(self, nbytes: float):
+        """Generator: local memory copy at the node's memory bandwidth.
+
+        Used by T-Rochdf's buffered writes: the *visible* cost of a
+        buffered output call is exactly this copy (§6.2).
+        """
+        yield self.env.timeout(nbytes / self.job.memcpy_bw)
+
+    def set_role(self, role: str) -> None:
+        """Re-label this rank's CPU (``"compute"`` or ``"server"``).
+
+        Rocpanda marks its dedicated I/O processors as servers so the
+        OS-noise model knows their CPU is mostly idle (§4.1).
+        """
+        self.cpu.role = role
+
+    def trace(self, category: str, message: str) -> None:
+        self.job.tracer.log(self.env.now, category, self.rank, message)
+
+    def __repr__(self) -> str:
+        return f"<RankContext rank={self.rank} node={self.node.index} cpu={self.cpu.index}>"
+
+
+@dataclass
+class JobResult:
+    """Outcome of an SPMD run."""
+
+    #: Per-rank return values of ``main``.
+    returns: List[Any]
+    #: Total simulated wall time of the job.
+    wall_time: float
+    #: Per-rank compute seconds.
+    compute_times: List[float]
+    machine: Machine = None
+    tracer: Tracer = None
+
+    @property
+    def max_compute_time(self) -> float:
+        return max(self.compute_times) if self.compute_times else 0.0
+
+
+class Job:
+    """One SPMD job bound to a machine."""
+
+    #: Node memory-copy bandwidth used by :meth:`RankContext.memcpy`.
+    DEFAULT_MEMCPY_BW = 300 * 1024 * 1024
+
+    def __init__(
+        self,
+        machine: Machine,
+        nprocs: int,
+        placement: Optional[Callable] = None,
+        tracer: Optional[Tracer] = None,
+        memcpy_bw: Optional[float] = None,
+    ):
+        if nprocs <= 0:
+            raise ValueError("nprocs must be > 0")
+        self.machine = machine
+        self.env = machine.env
+        self.nprocs = nprocs
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.memcpy_bw = (
+            memcpy_bw
+            if memcpy_bw
+            else getattr(machine.spec, "memcpy_bw", self.DEFAULT_MEMCPY_BW)
+        )
+        self.network = machine.build_network(nprocs)
+
+        policy = placement or placement_policies.block
+        slots = policy(machine.spec, nprocs)
+        if len(slots) != nprocs:
+            raise ValueError("placement returned wrong number of slots")
+        self.contexts: List[RankContext] = []
+        for rank, (node_idx, cpu_idx) in enumerate(slots):
+            node = machine.nodes[node_idx]
+            cpu = node.cpus[cpu_idx]
+            cpu.assign(rank, ROLE_COMPUTE)
+            self.contexts.append(RankContext(self, rank, node, cpu))
+
+        self._mailboxes: Dict[Tuple[int, int], Mailbox] = {}
+        self._next_comm_id = 1  # 0 = world
+
+    # -- registry used by Comm ----------------------------------------------
+    def context(self, global_rank: int) -> RankContext:
+        return self.contexts[global_rank]
+
+    def mailbox(self, comm_id: int, global_rank: int) -> Mailbox:
+        key = (comm_id, global_rank)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = self._mailboxes[key] = Mailbox(self.env)
+        return box
+
+    def alloc_comm_id(self) -> int:
+        self._next_comm_id += 1
+        return self._next_comm_id
+
+    # -- execution --------------------------------------------------------------
+    def run(self, main: Callable, until: Optional[float] = None) -> JobResult:
+        """Run ``main(ctx)`` on every rank to completion."""
+        procs = [
+            self.env.process(main(ctx), name=f"rank{ctx.rank}") for ctx in self.contexts
+        ]
+        done = self.env.all_of(procs)
+        try:
+            self.env.run(until=done if until is None else until)
+        except SimulationError:
+            stuck = [p.name for p in procs if p.is_alive]
+            raise RuntimeError(
+                f"deadlock: ranks {stuck} blocked with no pending events "
+                f"(unmatched recv/probe or a lost message?)"
+            ) from None
+        if until is not None and not done.triggered:
+            if self.env.peek() == float("inf"):
+                stuck = [p.name for p in procs if p.is_alive]
+                raise RuntimeError(
+                    f"deadlock: ranks {stuck} blocked with no pending events "
+                    f"(unmatched recv/probe or a lost message?)"
+                )
+            raise RuntimeError(f"job did not finish by t={until}")
+        returns = [p.value for p in procs]
+        return JobResult(
+            returns=returns,
+            wall_time=self.env.now,
+            compute_times=[ctx.compute_time for ctx in self.contexts],
+            machine=self.machine,
+            tracer=self.tracer,
+        )
+
+
+def run_spmd(
+    machine: Machine,
+    nprocs: int,
+    main: Callable,
+    placement: Optional[Callable] = None,
+    tracer: Optional[Tracer] = None,
+) -> JobResult:
+    """Convenience wrapper: build a :class:`Job` and run it."""
+    return Job(machine, nprocs, placement=placement, tracer=tracer).run(main)

@@ -1,0 +1,98 @@
+"""Per-rank message mailbox with MPI matching semantics.
+
+Envelopes arrive in delivery order; receives and probes match on
+``(source, tag)`` with wildcards, scanning arrivals in order (MPI's
+non-overtaking rule per (src, dst, tag) is preserved because senders
+deliver in program order and matching scans FIFO).
+
+``recv`` consumes the matched envelope; ``probe`` observes it without
+consuming — exactly the distinction Rocpanda's server loop relies on
+(probe for new requests between writing buffered blocks, §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..des import Environment, Event
+from .datatypes import ANY_SOURCE, ANY_TAG, Envelope
+
+__all__ = ["Mailbox"]
+
+
+class _Waiter:
+    __slots__ = ("source", "tag", "event", "consume")
+
+    def __init__(self, source: int, tag: int, event: Event, consume: bool):
+        self.source = source
+        self.tag = tag
+        self.event = event
+        self.consume = consume
+
+
+class Mailbox:
+    """Incoming-message queue of one rank within one communicator."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.items: List[Envelope] = []
+        self._waiters: List[_Waiter] = []
+
+    # -- delivery --------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        self.items.append(envelope)
+        self._match_waiters()
+
+    # -- blocking queries -------------------------------------------------
+    def get_matching(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Event firing with the first matching envelope (consumed)."""
+        event = Event(self.env)
+        self._waiters.append(_Waiter(source, tag, event, consume=True))
+        self._match_waiters()
+        return event
+
+    def peek_matching(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Event firing with the first matching envelope (left queued)."""
+        event = Event(self.env)
+        self._waiters.append(_Waiter(source, tag, event, consume=False))
+        self._match_waiters()
+        return event
+
+    # -- immediate queries --------------------------------------------------
+    def find(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Envelope]:
+        """First matching envelope without consuming, or None."""
+        for envelope in self.items:
+            if envelope.matches(source, tag):
+                return envelope
+        return None
+
+    def take(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Envelope]:
+        """Remove and return the first matching envelope, or None."""
+        for i, envelope in enumerate(self.items):
+            if envelope.matches(source, tag):
+                del self.items[i]
+                return envelope
+        return None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ----------------------------------------------------------
+    def _match_waiters(self) -> None:
+        # Probes never consume, so satisfy them all first; then serve
+        # consuming waiters FIFO, each taking a distinct envelope.
+        progress = True
+        while progress:
+            progress = False
+            for waiter in list(self._waiters):
+                if waiter.event.triggered:
+                    self._waiters.remove(waiter)
+                    continue
+                if waiter.consume:
+                    envelope = self.take(waiter.source, waiter.tag)
+                else:
+                    envelope = self.find(waiter.source, waiter.tag)
+                if envelope is not None:
+                    self._waiters.remove(waiter)
+                    waiter.event.succeed(envelope)
+                    progress = True

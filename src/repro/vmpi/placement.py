@@ -1,0 +1,67 @@
+"""Rank-to-CPU placement policies.
+
+A placement maps global rank -> (node_index, cpu_index).  The paper's
+experiments use three layouts on SMP nodes (§7.2, Fig 3(b)):
+
+* ``block`` — fill every CPU of a node before moving on ("16NS" on
+  Frost, and the default on Turing's dual-CPU nodes);
+* ``leave_one_idle`` — use only ``ncpus - 1`` CPUs per node ("15NS");
+* ``block`` combined with Rocpanda's stride server selection — the
+  "15S" layout falls out of running 16 ranks/node where every node's
+  first rank becomes an I/O server.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+__all__ = ["block", "leave_one_idle", "round_robin", "explicit", "Placement"]
+
+#: A placement: list of (node_index, cpu_index), indexed by global rank.
+Placement = List[Tuple[int, int]]
+
+
+def block(machine_spec, nprocs: int) -> Placement:
+    """Fill each node's CPUs in order before moving to the next node."""
+    cpn = machine_spec.cpus_per_node
+    _check(machine_spec, nprocs, machine_spec.nnodes * cpn)
+    return [(rank // cpn, rank % cpn) for rank in range(nprocs)]
+
+
+def leave_one_idle(machine_spec, nprocs: int) -> Placement:
+    """Use only ``cpus_per_node - 1`` CPUs per node (one left idle)."""
+    cpn = machine_spec.cpus_per_node
+    if cpn < 2:
+        raise ValueError("leave_one_idle needs at least 2 CPUs per node")
+    usable = cpn - 1
+    _check(machine_spec, nprocs, machine_spec.nnodes * usable)
+    return [(rank // usable, rank % usable) for rank in range(nprocs)]
+
+
+def round_robin(machine_spec, nprocs: int) -> Placement:
+    """Cycle through nodes, one CPU at a time (spreads ranks widely)."""
+    nnodes = machine_spec.nnodes
+    cpn = machine_spec.cpus_per_node
+    _check(machine_spec, nprocs, nnodes * cpn)
+    return [(rank % nnodes, rank // nnodes) for rank in range(nprocs)]
+
+
+def explicit(pairs: Placement) -> Callable:
+    """Wrap a hand-written placement list as a policy."""
+
+    def _policy(machine_spec, nprocs: int) -> Placement:
+        if nprocs != len(pairs):
+            raise ValueError(f"placement has {len(pairs)} slots, job has {nprocs}")
+        return list(pairs)
+
+    return _policy
+
+
+def _check(machine_spec, nprocs: int, available: int) -> None:
+    if nprocs <= 0:
+        raise ValueError("nprocs must be > 0")
+    if nprocs > available:
+        raise ValueError(
+            f"job of {nprocs} procs does not fit: {available} usable CPUs on "
+            f"{machine_spec.name}"
+        )

@@ -1,0 +1,51 @@
+"""Virtual threads on the DES kernel.
+
+T-Rochdf (§6.2) uses one persistent POSIX I/O thread per process; this
+module provides the equivalent on virtual time.  A :class:`VThread`
+wraps a DES process that shares the owning rank's node; synchronization
+uses :class:`~repro.des.Mutex` / :class:`~repro.des.CondVar`, mirroring
+pthread mutexes and condition variables.
+
+The I/O thread spends almost all its time blocked on filesystem
+operations rather than computing, so we do not model CPU stealing from
+the main thread; the main thread's visible cost of a buffered write is
+just the memory copy (``RankContext.memcpy``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..des import CondVar, Environment, Event, Interrupt, Mutex, Process
+
+__all__ = ["VThread", "Mutex", "CondVar"]
+
+
+class VThread:
+    """A background thread of control within one rank."""
+
+    def __init__(self, env: Environment, body: Generator, name: str = "vthread"):
+        self.env = env
+        self.name = name
+        self._proc: Process = env.process(self._run(body), name=name)
+
+    def _run(self, body: Generator):
+        result = yield from body
+        return result
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive
+
+    def join(self):
+        """Generator: wait for the thread to finish; returns its value."""
+        value = yield self._proc
+        return value
+
+    def cancel(self, cause=None) -> None:
+        """Interrupt the thread (delivers :class:`Interrupt` inside it)."""
+        if self._proc.is_alive:
+            self._proc.interrupt(cause)
+
+    def __repr__(self) -> str:
+        return f"<VThread {self.name} alive={self.alive}>"

@@ -1,0 +1,107 @@
+"""Integration tests: the full active-buffering hierarchy ([13]).
+
+GENx production uses server-side buffering only (§6.1); the full
+scheme adds a client-side buffer level.  These tests verify the
+extension preserves every correctness property and actually reduces
+the client-visible cost to a local copy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.cluster.presets import turing
+from repro.genx import GENxConfig, lab_scale_motor, run_genx
+from repro.rocketeer import load_snapshot
+
+
+def workload(steps=8, interval=4):
+    return lab_scale_motor(
+        scale=0.05, nblocks_fluid=16, nblocks_solid=8,
+        steps=steps, snapshot_interval=interval,
+    )
+
+
+def run(client_buffering, seed=0, disk=None, **config_kwargs):
+    machine = Machine(make_testbox(nnodes=8, cpus_per_node=4), seed=seed, disk=disk)
+    config = GENxConfig(
+        workload=workload(),
+        io_mode="rocpanda",
+        nservers=1,
+        prefix="cbuf",
+        client_buffering=client_buffering,
+        **config_kwargs,
+    )
+    return run_genx(machine, 5, config)
+
+
+class TestClientBuffering:
+    def test_visible_time_drops_to_memcpy_level(self):
+        plain = run(False, seed=1)
+        buffered = run(True, seed=1)
+        assert buffered.visible_io_time < plain.visible_io_time / 3
+
+    def test_files_identical_to_server_only_mode(self):
+        plain = run(False, seed=2)
+        buffered = run(True, seed=2)
+        for step in (0, 4, 8):
+            a = load_snapshot(plain.machine.disk, "cbuf", step)
+            b = load_snapshot(buffered.machine.disk, "cbuf", step)
+            assert set(a.window("rocflo")) == set(b.window("rocflo"))
+            for bid, block in a.window("rocflo").items():
+                np.testing.assert_array_equal(
+                    block.arrays["pressure"],
+                    b.window("rocflo")[bid].arrays["pressure"],
+                )
+
+    def test_restart_works_with_client_buffering(self):
+        first = run(True, seed=3)
+        restarted = run(
+            True,
+            seed=4,
+            disk=first.machine.disk,
+            restart_step=8,
+            restart_prefix="cbuf",
+            steps=0,
+        )
+        assert restarted.restart_time > 0
+
+    def test_sync_flushes_both_levels(self):
+        """After sync, data is on disk even though two buffer levels
+        sat between the caller and the filesystem."""
+        result = run(True, seed=5)
+        snap = load_snapshot(result.machine.disk, "cbuf", 8)
+        assert snap.nblocks == 16 + 8 + 16
+
+    def test_buffered_arrays_safe_to_reuse(self):
+        """Mutating simulation arrays right after write_attribute must
+        not corrupt the snapshot (double-buffered path included)."""
+        from repro.io import PandaServer, RocpandaModule, rocpanda_init
+        from repro.roccom import AttributeSpec, Roccom
+        from repro.shdf import decode_file
+        from repro.vmpi import run_spmd
+
+        def main(ctx):
+            topo = yield from rocpanda_init(ctx, 1)
+            if topo.is_server:
+                yield from PandaServer(ctx, topo).run()
+                return
+            com = Roccom(ctx)
+            panda = com.load_module(
+                RocpandaModule(ctx, topo, client_buffering=True)
+            )
+            w = com.new_window("W")
+            w.declare_attribute(AttributeSpec("f", "element"))
+            w.register_pane(0, 0, 4000)
+            data = np.arange(4000.0)
+            w.set_array("f", 0, data)
+            yield from com.call_function("OUT.write_attribute", "W", None, "ru")
+            data[:] = -1.0  # clobber immediately
+            yield from com.call_function("OUT.sync")
+            yield from panda.finalize()
+
+        machine = Machine(make_testbox(), seed=0)
+        run_spmd(machine, 2, main)
+        image = decode_file(machine.disk.open("ru_s0000.shdf").read())
+        np.testing.assert_array_equal(image.get("W/b0/f").data, np.arange(4000.0))

@@ -1,0 +1,60 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Each example is executed in-process (runpy) with its module-level
+``main()``; the slow SMP placement example is covered by a trimmed
+variant instead of its full 120-processor sweep.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/restart_demo.py",
+    "examples/custom_module.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs_clean(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"
+
+
+def test_compare_io_strategies_ordering(capsys):
+    module = runpy.run_path("examples/compare_io_strategies.py")
+    from repro.genx import lab_scale_motor
+
+    workload = lab_scale_motor(
+        scale=0.03, nblocks_fluid=32, nblocks_solid=16,
+        steps=10, snapshot_interval=5,
+    )
+    rows = {m: module["run_one"](m, workload) for m in ("rochdf", "trochdf", "rocpanda")}
+    assert rows["trochdf"]["visible I/O (s)"] < rows["rochdf"]["visible I/O (s)"]
+    assert rows["rocpanda"]["files"] < rows["rochdf"]["files"]
+
+
+def test_snapshot_inspect_runs(capsys):
+    runpy.run_path("examples/snapshot_inspect.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "burn front" in out
+
+
+def test_smp_placement_layouts_trimmed():
+    """Run the example's run_layout() on a small size for speed."""
+    module = runpy.run_path("examples/smp_placement.py")
+    from repro.genx import scalability_cylinder
+
+    workload = scalability_cylinder(
+        per_client_bytes=128 * 1024, steps=6, snapshot_interval=3,
+        nominal_step_seconds=8.0,
+    )
+    results = {
+        label: module["run_layout"](label, 30, workload, seed=1).computation_time
+        for label in ("16NS", "15NS", "15S")
+    }
+    assert results["15NS"] <= results["16NS"] * 1.05
+    assert results["15S"] <= results["16NS"] * 1.05

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the SHDF codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.shdf import Dataset, FileImage, decode_file, encode_file
+
+_DTYPES = st.sampled_from(
+    [np.float64, np.float32, np.int64, np.int32, np.int8, np.uint8, np.bool_]
+)
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=24,
+)
+
+_scalar_attr = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+_attr_value = st.one_of(
+    _scalar_attr,
+    st.lists(_scalar_attr, max_size=5),
+)
+
+_attrs = st.dictionaries(_names, _attr_value, max_size=5)
+
+
+@st.composite
+def datasets(draw, name=None):
+    dtype = draw(_DTYPES)
+    shape = draw(hnp.array_shapes(min_dims=0, max_dims=3, max_side=8))
+    data = draw(
+        hnp.arrays(
+            dtype=dtype,
+            shape=shape,
+            elements=hnp.from_dtype(
+                np.dtype(dtype), allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    return Dataset(name or draw(_names), data, draw(_attrs))
+
+
+@st.composite
+def file_images(draw):
+    image = FileImage(draw(_attrs))
+    names = draw(st.lists(_names, unique=True, max_size=6))
+    for name in names:
+        image.add(draw(datasets(name=name)))
+    return image
+
+
+@given(file_images())
+@settings(max_examples=150, deadline=None)
+def test_encode_decode_roundtrip(image):
+    decoded = decode_file(encode_file(image))
+    assert decoded == image
+
+
+@given(file_images())
+@settings(max_examples=60, deadline=None)
+def test_encode_is_deterministic(image):
+    assert encode_file(image) == encode_file(image)
+
+
+@given(datasets(), datasets())
+@settings(max_examples=60, deadline=None)
+def test_appending_preserves_earlier_records(d1, d2):
+    if d1.name == d2.name:
+        d2 = Dataset(d2.name + "_2", d2.data, d2.attrs)
+    image = FileImage()
+    image.add(d1)
+    image.add(d2)
+    decoded = decode_file(encode_file(image))
+    assert decoded.names() == [d1.name, d2.name]
+    assert decoded.get(d1.name) == d1
+
+
+@given(file_images(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_truncation_never_decodes_silently(image, cut):
+    """Chopping bytes off the end either errors or drops whole records."""
+    from repro.shdf import CodecError
+
+    buf = encode_file(image)
+    if cut >= len(buf):
+        return
+    truncated = buf[:-cut]
+    try:
+        decoded = decode_file(truncated)
+    except CodecError:
+        return
+    # If it decoded, it must be a clean prefix of the original records.
+    assert len(decoded) <= len(image)
+    for got, expected in zip(decoded, image):
+        assert got == expected
+
+
+@given(file_images())
+@settings(max_examples=80, deadline=None)
+def test_v2_roundtrip_matches_v1(image):
+    """Both on-disk formats decode to the identical image."""
+    from repro.shdf import decode_file, encode_file_v2
+
+    assert decode_file(encode_file_v2(image)) == image
+
+
+@given(file_images())
+@settings(max_examples=60, deadline=None)
+def test_v2_index_is_complete_and_random_accessible(image):
+    from repro.shdf import encode_file_v2, read_dataset_at, read_index
+
+    buf = encode_file_v2(image)
+    index = read_index(buf)
+    assert set(index) == set(image.names())
+    for name, (offset, _len) in index.items():
+        assert read_dataset_at(buf, offset) == image.get(name)

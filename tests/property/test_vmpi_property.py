@@ -1,0 +1,111 @@
+"""Property-based tests for vmpi collective semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.vmpi import run_spmd
+
+
+def launch(nprocs, main, seed=0):
+    machine = Machine(make_testbox(nnodes=8, cpus_per_node=8), seed=seed)
+    return run_spmd(machine, nprocs, main)
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.lists(st.integers(-1000, 1000), min_size=10, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_sum_matches_python_sum(size, values):
+    out = {}
+
+    def main(ctx):
+        result = yield from ctx.world.allreduce(values[ctx.rank])
+        out[ctx.rank] = result
+
+    launch(size, main)
+    expected = sum(values[:size])
+    assert all(v == expected for v in out.values())
+
+
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_bcast_reaches_everyone_from_any_root(size, root_raw):
+    root = root_raw % size
+    payload = {"root": root, "data": list(range(root))}
+    out = {}
+
+    def main(ctx):
+        obj = payload if ctx.rank == root else None
+        result = yield from ctx.world.bcast(obj, root=root)
+        out[ctx.rank] = result
+
+    launch(size, main)
+    assert all(v == payload for v in out.values())
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=30, deadline=None)
+def test_allgather_is_rank_indexed(size):
+    out = {}
+
+    def main(ctx):
+        result = yield from ctx.world.allgather(ctx.rank * 3)
+        out[ctx.rank] = result
+
+    launch(size, main)
+    for r in range(size):
+        assert out[r] == [i * 3 for i in range(size)]
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.lists(st.integers(0, 2), min_size=12, max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_partitions_ranks_exactly(size, colors):
+    """Every rank lands in exactly one sub-communicator; groups are
+    disjoint, complete, and ordered by old rank."""
+    out = {}
+
+    def main(ctx):
+        sub = yield from ctx.world.split(colors[ctx.rank])
+        members = yield from sub.allgather(ctx.rank)
+        out[ctx.rank] = (colors[ctx.rank], sub.rank, tuple(members))
+
+    launch(size, main)
+    seen = set()
+    for rank, (color, sub_rank, members) in out.items():
+        assert members[sub_rank] == rank
+        assert list(members) == sorted(members)
+        assert all(colors[m] == color for m in members)
+        seen.add(rank)
+    assert seen == set(range(size))
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_point_to_point_preserves_arbitrary_arrays(size, data):
+    arr = data.draw(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=64)
+    )
+    payload = np.array(arr)
+    received = {}
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for dest in range(1, size):
+                yield from ctx.world.send(payload, dest=dest, tag=dest)
+        else:
+            got, _ = yield from ctx.world.recv(source=0, tag=ctx.rank)
+            received[ctx.rank] = got
+
+    launch(size, main)
+    for r in range(1, size):
+        np.testing.assert_array_equal(received[r], payload)

@@ -1,0 +1,187 @@
+"""Unit tests for nodes, CPUs, and the noise/interference models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NoNoise, Node, OSNoise
+from repro.cluster.node import ROLE_COMPUTE, ROLE_SERVER
+from repro.cluster.noise import ExternalLoad, NoExternalLoad
+from repro.cluster.presets import frost, turing
+from repro.cluster.presets import testbox as make_testbox
+from repro.util import GB
+
+
+class TestNode:
+    def test_cpu_assignment(self):
+        node = Node(0, ncpus=4, mem_bytes=1 * GB)
+        node.cpus[0].assign(7, ROLE_COMPUTE)
+        assert node.cpus[0].occupied
+        assert node.cpus[0].rank == 7
+        assert len(node.free_cpus()) == 3
+
+    def test_double_assignment_rejected(self):
+        node = Node(0, ncpus=2, mem_bytes=1 * GB)
+        node.cpus[0].assign(0, ROLE_COMPUTE)
+        with pytest.raises(RuntimeError):
+            node.cpus[0].assign(1, ROLE_COMPUTE)
+
+    def test_bad_role_rejected(self):
+        node = Node(0, ncpus=1, mem_bytes=1 * GB)
+        with pytest.raises(ValueError):
+            node.cpus[0].assign(0, "chef")
+
+    def test_invalid_ncpus(self):
+        with pytest.raises(ValueError):
+            Node(0, ncpus=0, mem_bytes=1 * GB)
+
+    def test_role_queries(self):
+        node = Node(0, ncpus=4, mem_bytes=1 * GB)
+        node.cpus[0].assign(0, ROLE_SERVER)
+        node.cpus[1].assign(1, ROLE_COMPUTE)
+        assert len(node.server_cpus()) == 1
+        assert len(node.compute_cpus()) == 1
+        assert len(node.free_cpus()) == 2
+
+    def test_absorbing_capacity(self):
+        node = Node(0, ncpus=3, mem_bytes=1 * GB)
+        # All free: capacity 3.
+        assert node.noise_absorbing_capacity() == pytest.approx(3.0)
+        node.cpus[0].assign(0, ROLE_COMPUTE)
+        assert node.noise_absorbing_capacity() == pytest.approx(2.0)
+        node.cpus[1].assign(1, ROLE_SERVER)
+        node.cpus[1].server_busy_fraction = 0.2
+        assert node.noise_absorbing_capacity() == pytest.approx(1.0 + 0.8)
+
+
+class TestOSNoise:
+    def _node_fully_busy(self, ncpus=4):
+        node = Node(0, ncpus=ncpus, mem_bytes=1 * GB)
+        for i, cpu in enumerate(node.cpus):
+            cpu.assign(i, ROLE_COMPUTE)
+        return node
+
+    def test_no_noise_model_returns_zero(self):
+        node = self._node_fully_busy()
+        rng = np.random.default_rng(0)
+        assert NoNoise().compute_penalty(node, 100.0, rng) == 0.0
+
+    def test_idle_cpu_absorbs_noise(self):
+        node = Node(0, ncpus=4, mem_bytes=1 * GB)
+        for i in range(3):
+            node.cpus[i].assign(i, ROLE_COMPUTE)
+        noise = OSNoise(duty=0.05, leak=0.0)
+        rng = np.random.default_rng(0)
+        penalties = [noise.compute_penalty(node, 10.0, rng) for _ in range(100)]
+        assert max(penalties) == 0.0
+
+    def test_busy_node_pays_noise(self):
+        node = self._node_fully_busy()
+        noise = OSNoise(duty=0.05, leak=0.0)
+        rng = np.random.default_rng(0)
+        penalties = [noise.compute_penalty(node, 10.0, rng) for _ in range(200)]
+        mean = np.mean(penalties)
+        # Expected mean share: duty/ncpus * duration = 0.05/4*10 = 0.125
+        assert 0.08 < mean < 0.18
+        assert min(penalties) >= 0.0
+
+    def test_server_cpu_absorbs_most_noise(self):
+        node = Node(0, ncpus=4, mem_bytes=1 * GB)
+        for i in range(3):
+            node.cpus[i].assign(i, ROLE_COMPUTE)
+        node.cpus[3].assign(3, ROLE_SERVER)
+        node.cpus[3].server_busy_fraction = 0.15
+        noise = OSNoise(duty=0.05, leak=0.0)
+        rng = np.random.default_rng(0)
+        penalties = [noise.compute_penalty(node, 10.0, rng) for _ in range(100)]
+        # Server absorbs 0.85 CPUs of noise > duty 0.05: fully absorbed.
+        assert max(penalties) == 0.0
+
+    def test_leak_gives_small_penalty_even_when_absorbed(self):
+        node = Node(0, ncpus=2, mem_bytes=1 * GB)
+        node.cpus[0].assign(0, ROLE_COMPUTE)
+        noise = OSNoise(duty=0.05, leak=0.01)
+        rng = np.random.default_rng(0)
+        penalties = [noise.compute_penalty(node, 10.0, rng) for _ in range(200)]
+        assert 0 < np.mean(penalties) < 0.5
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            OSNoise(duty=1.5)
+
+
+class TestExternalLoad:
+    def test_no_external_load_factor_is_one(self):
+        rng = np.random.default_rng(0)
+        assert NoExternalLoad().sample_factor(rng) == 1.0
+
+    def test_factors_at_least_one(self):
+        load = ExternalLoad()
+        rng = np.random.default_rng(1)
+        factors = [load.sample_factor(rng) for _ in range(200)]
+        assert all(f >= 1.0 for f in factors)
+        assert any(f > 1.0 for f in factors)
+
+    def test_apply_sets_node_attributes(self):
+        load = ExternalLoad(p_loaded=1.0)
+        nodes = [Node(i, 2, 1 * GB) for i in range(5)]
+        load.apply(nodes, np.random.default_rng(2))
+        assert all(n.external_load > 1.0 for n in nodes)
+
+
+class TestMachine:
+    def test_requires_fs_factory(self):
+        spec = MachineSpec(name="x", nnodes=1, cpus_per_node=1)
+        with pytest.raises(ValueError):
+            Machine(spec)
+
+    def test_testbox_builds(self):
+        m = Machine(make_testbox(), seed=3)
+        assert len(m.nodes) == 4
+        assert m.fs is not None
+        assert m.disk is not None
+
+    def test_compute_time_nominal_on_quiet_machine(self):
+        m = Machine(make_testbox(), seed=0)
+        assert m.compute_time(m.nodes[0], 2.5) == pytest.approx(2.5)
+
+    def test_compute_time_negative_rejected(self):
+        m = Machine(make_testbox(), seed=0)
+        with pytest.raises(ValueError):
+            m.compute_time(m.nodes[0], -1)
+
+    def test_network_requires_build(self):
+        m = Machine(make_testbox(), seed=0)
+        with pytest.raises(RuntimeError):
+            _ = m.network
+        net = m.build_network(4)
+        assert m.network is net
+
+    def test_shared_disk_between_machines(self):
+        m1 = Machine(make_testbox(), seed=0)
+        m1.disk.create("checkpoint").append(b"state")
+        m2 = Machine(make_testbox(), seed=1, disk=m1.disk)
+        assert m2.disk.open("checkpoint").read() == b"state"
+
+    def test_turing_preset_shape(self):
+        spec = turing()
+        assert spec.nnodes == 208
+        assert spec.cpus_per_node == 2
+        assert spec.network.scale_alpha > 0
+        m = Machine(spec, seed=0)
+        assert type(m.fs).__name__ == "NFSModel"
+
+    def test_frost_preset_shape(self):
+        spec = frost()
+        assert spec.nnodes == 63
+        assert spec.cpus_per_node == 16
+        m = Machine(spec, seed=0)
+        assert type(m.fs).__name__ == "GPFSModel"
+        assert isinstance(spec.noise, OSNoise)
+
+    def test_same_seed_same_external_load(self):
+        spec = turing()
+        m1 = Machine(spec, seed=42)
+        m2 = Machine(spec, seed=42)
+        assert [n.external_load for n in m1.nodes] == [
+            n.external_load for n in m2.nodes
+        ]

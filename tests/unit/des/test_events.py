@@ -1,0 +1,160 @@
+"""Unit tests for composite events (AllOf / AnyOf)."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        result = yield AllOf(env, [t1, t2])
+        times.append(env.now)
+        assert result.values() == ["a", "b"]
+
+    env.process(proc())
+    env.run()
+    assert times == [5]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        times.append(env.now)
+        assert "fast" in result.values()
+
+    env.process(proc())
+    env.run()
+    assert times == [1]
+
+
+def test_and_operator():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1) & env.timeout(3)
+        assert env.now == 3
+
+    env.process(proc())
+    env.run()
+
+
+def test_or_operator():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1) | env.timeout(3)
+        assert env.now == 1
+
+    env.process(proc())
+    env.run()
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield AllOf(env, [])
+        assert env.now == 0
+
+    env.process(proc())
+    env.run()
+
+
+def test_condition_value_mapping_api():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, value=10)
+        t2 = env.timeout(2, value=20)
+        result = yield AllOf(env, [t1, t2])
+        assert result[t1] == 10
+        assert result[t2] == 20
+        assert t1 in result
+        assert len(result) == 2
+        assert result.todict() == {t1: 10, t2: 20}
+        assert list(result.keys()) == [t1, t2]
+        with pytest.raises(KeyError):
+            result[env.event()]
+
+    env.process(proc())
+    env.run()
+
+
+def test_allof_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("sub-process failed")
+
+    def proc():
+        try:
+            yield AllOf(env, [env.process(failer()), env.timeout(10)])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["sub-process failed"]
+
+
+def test_allof_with_already_processed_events():
+    env = Environment()
+    e1 = env.event()
+    e1.succeed("pre")
+    env.run()
+
+    def proc():
+        result = yield AllOf(env, [e1, env.timeout(2, value="post")])
+        assert result.values() == ["pre", "post"]
+        assert env.now == 2
+
+    env.process(proc())
+    env.run()
+
+
+def test_anyof_value_contains_only_fired_events():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1, value="x")
+        slow = env.timeout(9, value="y")
+        result = yield AnyOf(env, [fast, slow])
+        assert list(result.values()) == ["x"]
+        assert slow not in result
+
+    env.process(proc())
+    env.run()
+
+
+def test_cross_environment_events_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    t1 = env1.timeout(1)
+    t2 = env2.timeout(1)
+    with pytest.raises(ValueError):
+        AllOf(env1, [t1, t2])
+
+
+def test_env_helpers_all_of_any_of():
+    env = Environment()
+
+    def proc():
+        yield env.all_of([env.timeout(1), env.timeout(2)])
+        assert env.now == 2
+        yield env.any_of([env.timeout(1), env.timeout(2)])
+        assert env.now == 3
+
+    env.process(proc())
+    env.run()

@@ -1,0 +1,218 @@
+"""Unit tests for DES synchronization primitives."""
+
+import pytest
+
+from repro.des import CondVar, CyclicBarrier, Environment, Mutex, Semaphore
+
+
+class TestMutex:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        mutex = Mutex(env)
+        in_cs = [0]
+        max_in_cs = [0]
+
+        def worker():
+            yield mutex.acquire()
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            yield env.timeout(1)
+            in_cs[0] -= 1
+            mutex.release()
+
+        for _ in range(5):
+            env.process(worker())
+        env.run()
+        assert max_in_cs[0] == 1
+
+    def test_release_unlocked_raises(self):
+        env = Environment()
+        mutex = Mutex(env)
+        with pytest.raises(RuntimeError):
+            mutex.release()
+
+    def test_handoff_order_is_fifo(self):
+        env = Environment()
+        mutex = Mutex(env)
+        order = []
+
+        def worker(tag, arrive):
+            yield env.timeout(arrive)
+            yield mutex.acquire()
+            order.append(tag)
+            yield env.timeout(10)
+            mutex.release()
+
+        env.process(worker("a", 0))
+        env.process(worker("b", 1))
+        env.process(worker("c", 2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_locked_property(self):
+        env = Environment()
+        mutex = Mutex(env)
+
+        def proc():
+            assert not mutex.locked
+            yield mutex.acquire()
+            assert mutex.locked
+            mutex.release()
+            assert not mutex.locked
+
+        env.process(proc())
+        env.run()
+
+
+class TestCondVar:
+    def test_wait_notify_roundtrip(self):
+        env = Environment()
+        mutex = Mutex(env)
+        cond = CondVar(env, mutex)
+        state = {"ready": False}
+        trace = []
+
+        def waiter():
+            yield mutex.acquire()
+            while not state["ready"]:
+                yield from cond.wait()
+            trace.append(("woke", env.now))
+            mutex.release()
+
+        def notifier():
+            yield env.timeout(5)
+            yield mutex.acquire()
+            state["ready"] = True
+            cond.notify()
+            mutex.release()
+
+        env.process(waiter())
+        env.process(notifier())
+        env.run()
+        assert trace == [("woke", 5)]
+
+    def test_wait_without_mutex_raises(self):
+        env = Environment()
+        mutex = Mutex(env)
+        cond = CondVar(env, mutex)
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                yield from cond.wait()
+            yield env.timeout(0)
+
+        env.process(proc())
+        env.run()
+
+    def test_notify_all_wakes_everyone(self):
+        env = Environment()
+        mutex = Mutex(env)
+        cond = CondVar(env, mutex)
+        state = {"go": False}
+        woken = []
+
+        def waiter(tag):
+            yield mutex.acquire()
+            while not state["go"]:
+                yield from cond.wait()
+            woken.append(tag)
+            mutex.release()
+
+        def broadcaster():
+            yield env.timeout(1)
+            yield mutex.acquire()
+            state["go"] = True
+            cond.notify_all()
+            mutex.release()
+
+        for tag in range(3):
+            env.process(waiter(tag))
+        env.process(broadcaster())
+        env.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_notify_with_no_waiters_is_noop(self):
+        env = Environment()
+        mutex = Mutex(env)
+        cond = CondVar(env, mutex)
+        cond.notify()
+        cond.notify_all()
+
+
+class TestSemaphore:
+    def test_initial_value(self):
+        env = Environment()
+        sem = Semaphore(env, 3)
+        assert sem.value == 3
+
+    def test_negative_value_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Semaphore(env, -1)
+
+    def test_acquire_blocks_at_zero(self):
+        env = Environment()
+        sem = Semaphore(env, 1)
+        trace = []
+
+        def worker(tag):
+            yield sem.acquire()
+            trace.append((tag, env.now))
+            yield env.timeout(5)
+            sem.release()
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert trace == [("a", 0), ("b", 5)]
+
+    def test_release_without_waiters_increments(self):
+        env = Environment()
+        sem = Semaphore(env, 0)
+        sem.release()
+        assert sem.value == 1
+
+
+class TestCyclicBarrier:
+    def test_all_released_together(self):
+        env = Environment()
+        barrier = CyclicBarrier(env, 3)
+        release_times = []
+
+        def worker(delay):
+            yield env.timeout(delay)
+            yield barrier.wait()
+            release_times.append(env.now)
+
+        env.process(worker(1))
+        env.process(worker(5))
+        env.process(worker(3))
+        env.run()
+        assert release_times == [5, 5, 5]
+
+    def test_barrier_is_reusable(self):
+        env = Environment()
+        barrier = CyclicBarrier(env, 2)
+        trace = []
+
+        def worker(tag, d1, d2):
+            yield env.timeout(d1)
+            yield barrier.wait()
+            trace.append((tag, 1, env.now))
+            yield env.timeout(d2)
+            yield barrier.wait()
+            trace.append((tag, 2, env.now))
+
+        env.process(worker("a", 1, 1))
+        env.process(worker("b", 2, 5))
+        env.run()
+        round1 = [t for t in trace if t[1] == 1]
+        round2 = [t for t in trace if t[1] == 2]
+        assert all(t[2] == 2 for t in round1)
+        assert all(t[2] == 7 for t in round2)
+        assert barrier.generation == 2
+
+    def test_invalid_parties(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CyclicBarrier(env, 0)

@@ -1,0 +1,270 @@
+"""Unit tests for dynamic load balancing and mesh adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.genx import (
+    LoadBalancer,
+    MeshAdaptor,
+    cylinder_blocks,
+    plan_migrations,
+    resize_block,
+)
+from repro.genx.physics import Rocburn, Rocflo, Rocfrac
+from repro.roccom import Roccom
+from repro.vmpi import run_spmd
+
+
+class TestPlanMigrations:
+    def _blocks(self, cells_lists):
+        return [
+            [("W", 100 * r + i, c) for i, c in enumerate(cells)]
+            for r, cells in enumerate(cells_lists)
+        ]
+
+    def test_balanced_load_produces_empty_plan(self):
+        plan = plan_migrations(
+            [1.0, 1.0], self._blocks([[100, 100], [100, 100]])
+        )
+        assert plan.nmoves == 0
+
+    def test_imbalance_triggers_moves(self):
+        plan = plan_migrations(
+            [3.0, 1.0],
+            self._blocks([[300, 300, 300], [100]]),
+            threshold=1.10,
+        )
+        assert plan.nmoves >= 1
+        assert all(m.src == 0 and m.dst == 1 for m in plan.moves)
+
+    def test_threshold_gates_rebalancing(self):
+        loads = [1.15, 1.0]
+        blocks = self._blocks([[120, 120], [100, 100]])
+        assert plan_migrations(loads, blocks, threshold=1.30).nmoves == 0
+        # Same inputs, tighter threshold: may move.
+        plan = plan_migrations(loads, blocks, threshold=1.01)
+        assert plan.nmoves >= 0  # must not crash; moves optional here
+
+    def test_max_moves_per_rank_respected(self):
+        plan = plan_migrations(
+            [10.0, 1.0, 1.0],
+            self._blocks([[200] * 10, [10], [10]]),
+            max_moves_per_rank=2,
+        )
+        assert len(plan.outgoing(0)) <= 2
+
+    def test_single_rank_noop(self):
+        assert plan_migrations([5.0], self._blocks([[100]])).nmoves == 0
+
+    def test_plan_is_deterministic(self):
+        args = ([4.0, 1.0, 2.0], self._blocks([[500, 400, 300], [50], [200, 100]]))
+        a = plan_migrations(*args)
+        b = plan_migrations(*args)
+        assert [(m.block_id, m.src, m.dst) for m in a.moves] == [
+            (m.block_id, m.src, m.dst) for m in b.moves
+        ]
+
+
+class TestLoadBalancerRuntime:
+    def test_blocks_migrate_and_data_survives(self):
+        outcome = {}
+
+        def main(ctx):
+            com = Roccom(ctx)
+            fluid = Rocflo()
+            # Rank 0 gets 6 blocks, rank 1 gets 2: clearly imbalanced.
+            nblocks = 6 if ctx.rank == 0 else 2
+            specs = cylinder_blocks(
+                nblocks, nblocks * 300, id_base=ctx.rank * 50, seed=ctx.rank
+            )
+            fluid.setup(com, specs, np.random.default_rng(ctx.rank))
+            marker = float(100 + ctx.rank)
+            for block in fluid.blocks:
+                com.window("Rocflo").get_array("pressure", block.block_id)[:] = marker
+
+            balancer = LoadBalancer(threshold=1.01)
+            load = float(fluid.total_cells)  # proxy measured load
+            moved = yield from balancer.rebalance(
+                ctx, com, ctx.world, [fluid], load
+            )
+            window = com.window("Rocflo")
+            outcome[ctx.rank] = {
+                "moved": moved,
+                "pane_ids": window.pane_ids(),
+                "cells": fluid.total_cells,
+                "pressures": {
+                    pid: float(window.get_array("pressure", pid)[0])
+                    for pid in window.pane_ids()
+                },
+            }
+
+        machine = Machine(make_testbox(), seed=0)
+        run_spmd(machine, 2, main)
+
+        assert outcome[0]["moved"] > 0
+        # Every block is somewhere, exactly once.
+        all_ids = outcome[0]["pane_ids"] + outcome[1]["pane_ids"]
+        assert len(all_ids) == len(set(all_ids)) == 8
+        # Balance improved: rank 1 now holds more than its original 2.
+        assert len(outcome[1]["pane_ids"]) > 2
+        # Migrated data intact: blocks originally on rank 0 carry 100.0.
+        for pid, p in outcome[1]["pressures"].items():
+            expected = 100.0 if pid < 50 else 101.0
+            assert p == expected
+
+    def test_migrated_blocks_keep_advancing(self):
+        """Physics kernels must run on migrated blocks without error."""
+
+        def main(ctx):
+            com = Roccom(ctx)
+            fluid = Rocflo()
+            nblocks = 5 if ctx.rank == 0 else 1
+            specs = cylinder_blocks(
+                nblocks, nblocks * 200, id_base=ctx.rank * 50, seed=1
+            )
+            fluid.setup(com, specs, np.random.default_rng(0))
+            balancer = LoadBalancer(threshold=1.01)
+            yield from balancer.rebalance(
+                ctx, com, ctx.world, [fluid], float(fluid.total_cells)
+            )
+            yield from fluid.advance(ctx, 1e-6, 1)
+            return sorted(b.block_id for b in fluid.blocks)
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 2, main)
+        assert sum(len(r) for r in result.returns) == 6
+
+    def test_never_strands_a_module(self):
+        """A module with a single block never donates it."""
+
+        def main(ctx):
+            com = Roccom(ctx)
+            fluid = Rocflo()
+            specs = cylinder_blocks(1, 5000 if ctx.rank == 0 else 100,
+                                    id_base=ctx.rank * 50, seed=2)
+            fluid.setup(com, specs, np.random.default_rng(0))
+            balancer = LoadBalancer(threshold=1.01)
+            moved = yield from balancer.rebalance(
+                ctx, com, ctx.world, [fluid], float(fluid.total_cells)
+            )
+            return (moved, len(fluid.blocks))
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 2, main)
+        assert all(nblocks == 1 for _, nblocks in result.returns)
+
+
+class TestResizeBlock:
+    def _setup(self):
+        com = Roccom()
+        solid = Rocfrac()
+        specs = cylinder_blocks(1, 200, kind_mix=("unstructured",))
+        solid.setup(com, specs, np.random.default_rng(0))
+        return com, solid, solid.blocks[0]
+
+    def test_shrink_truncates(self):
+        com, solid, block = self._setup()
+        window = com.window("Rocfrac")
+        before = window.get_array("stress", block.block_id).copy()
+        old_cells = solid.total_cells
+        resize_block(com, solid, block, new_nnodes=30, new_nelems=50)
+        after = window.get_array("stress", block.block_id)
+        assert after.shape == (50, 6)
+        np.testing.assert_array_equal(after, before[:50])
+        assert solid.total_cells == old_cells - (before.shape[0] - 50)
+
+    def test_grow_extends(self):
+        com, solid, block = self._setup()
+        window = com.window("Rocfrac")
+        old_ne = block.conn.shape[0]
+        resize_block(com, solid, block, new_nnodes=100, new_nelems=old_ne + 40)
+        assert window.get_array("stress", block.block_id).shape[0] == old_ne + 40
+        # Connectivity stays within the new node range.
+        conn = window.get_array("conn", block.block_id)
+        assert conn.max() < 100
+
+    def test_invalid_sizes_rejected(self):
+        com, solid, block = self._setup()
+        with pytest.raises(ValueError):
+            resize_block(com, solid, block, 0, 10)
+
+    def test_kernel_runs_after_resize(self):
+        com, solid, block = self._setup()
+        resize_block(com, solid, block, 40, 60)
+        window = com.window("Rocfrac")
+        solid.kernel(window, block, 1e-6, 1)  # must not raise
+
+
+class TestMeshAdaptor:
+    def _setup(self):
+        com = Roccom()
+        fluid, solid, burn = Rocflo(), Rocfrac(), Rocburn()
+        rng = np.random.default_rng(0)
+        fluid.setup(com, cylinder_blocks(2, 600, seed=1), rng)
+        solid.setup(
+            com, cylinder_blocks(2, 300, kind_mix=("unstructured",), seed=2), rng
+        )
+        burn.setup(
+            com, cylinder_blocks(2, 100, kind_mix=("unstructured",), seed=3), rng
+        )
+        return com, fluid, solid, burn
+
+    def test_no_regression_no_change(self):
+        com, fluid, solid, burn = self._setup()
+        adaptor = MeshAdaptor(fluid, solid, burn, interval=1)
+        # burn_distance is all zeros initially.
+        list(adaptor.hook(None, com, None, step=1))
+        assert adaptor.stats.passes == 0
+
+    def test_regression_shrinks_solid_grows_fluid(self):
+        def main(ctx):
+            com, fluid, solid, burn = self._setup()
+            window = com.window("Rocburn")
+            for block in burn.blocks:
+                window.get_array("burn_distance", block.block_id)[:] = 0.01
+            adaptor = MeshAdaptor(fluid, solid, burn, interval=1)
+            before_solid = solid.total_cells
+            before_fluid = fluid.total_cells
+            yield from adaptor.hook(ctx, com, ctx.world, step=1)
+            return (
+                adaptor.stats.passes,
+                before_solid - solid.total_cells,
+                fluid.total_cells - before_fluid,
+            )
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 1, main)
+        passes, removed, added = result.returns[0]
+        assert passes == 1
+        assert removed > 0
+        assert added > 0
+
+    def test_interval_respected(self):
+        com, fluid, solid, burn = self._setup()
+        window = com.window("Rocburn")
+        for block in burn.blocks:
+            window.get_array("burn_distance", block.block_id)[:] = 0.01
+        adaptor = MeshAdaptor(fluid, solid, burn, interval=10)
+        list(adaptor.hook(None, com, None, step=3))  # not a multiple of 10
+        assert adaptor.stats.passes == 0
+
+    def test_min_cells_floor(self):
+        def main(ctx):
+            com, fluid, solid, burn = self._setup()
+            window = com.window("Rocburn")
+            adaptor = MeshAdaptor(
+                fluid, solid, burn, interval=1, change_fraction=0.9, min_cells=4
+            )
+            for epoch in range(1, 6):
+                for block in burn.blocks:
+                    window.get_array("burn_distance", block.block_id)[:] = (
+                        0.01 * epoch
+                    )
+                yield from adaptor.hook(ctx, com, ctx.world, step=epoch)
+            return min(b.conn.shape[0] for b in solid.blocks)
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 1, main)
+        assert result.returns[0] >= 4

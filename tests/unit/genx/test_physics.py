@@ -1,0 +1,276 @@
+"""Unit tests for the GENx physics modules, Rocblas, and Rocface."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.genx import BlockSpec, Rocface, cylinder_blocks, rocblas
+from repro.genx.physics import (
+    BURN_MODELS,
+    Rocburn,
+    Rocflo,
+    Rocflu,
+    Rocfrac,
+    Rocsolid,
+    apn_rate,
+    py_rate,
+    zn_rate,
+)
+from repro.roccom import Roccom
+from repro.vmpi import run_spmd
+
+ALL_MODULES = [Rocflo, Rocflu, Rocfrac, Rocsolid]
+
+
+def setup_module_with_blocks(module_cls, nblocks=3, cells=600, **kwargs):
+    com = Roccom()
+    module = module_cls(**kwargs)
+    kind = "structured" if module.nodes_per_elem() == 8 else "unstructured"
+    specs = cylinder_blocks(nblocks, cells, kind_mix=(kind,))
+    module.setup(com, specs, np.random.default_rng(0))
+    return com, module
+
+
+class TestPhysicsModules:
+    @pytest.mark.parametrize("module_cls", ALL_MODULES + [Rocburn])
+    def test_setup_registers_panes_and_arrays(self, module_cls):
+        com, module = setup_module_with_blocks(module_cls)
+        window = com.window(module.window_name)
+        assert window.npanes == 3
+        for pane in window.panes():
+            assert window.has_array("coords", pane.id)
+            assert window.has_array("conn", pane.id)
+
+    @pytest.mark.parametrize("module_cls", ALL_MODULES + [Rocburn])
+    def test_kernel_keeps_fields_finite(self, module_cls):
+        com, module = setup_module_with_blocks(module_cls)
+        window = com.window(module.window_name)
+        for step in range(1, 30):
+            for block in module.blocks:
+                module.kernel(window, block, 1e-6, step)
+        for pane in window.panes():
+            for name in window.attribute_names():
+                if window.has_array(name, pane.id):
+                    assert np.all(np.isfinite(window.get_array(name, pane.id)))
+
+    @pytest.mark.parametrize("module_cls", ALL_MODULES)
+    def test_fields_actually_evolve(self, module_cls):
+        com, module = setup_module_with_blocks(module_cls)
+        window = com.window(module.window_name)
+        if module_cls in (Rocfrac, Rocsolid):
+            module.apply_traction(module.blocks[0].block_id, 1e6)
+            probe_attr = "displacement"
+        else:
+            probe_attr = "pressure"
+        before = window.get_array(probe_attr, module.blocks[0].block_id).copy()
+        for step in range(1, 10):
+            for block in module.blocks:
+                module.kernel(window, block, 1e-6, step)
+        after = window.get_array(probe_attr, module.blocks[0].block_id)
+        assert not np.array_equal(before, after)
+
+    def test_total_cells_and_step_cost(self):
+        com, module = setup_module_with_blocks(Rocflo, nblocks=2, cells=500)
+        assert module.total_cells == sum(b.nelems for b in module.blocks)
+        assert module.nominal_step_cost() == pytest.approx(
+            module.cost_per_cell * module.total_cells
+        )
+
+    def test_advance_charges_virtual_time(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            module = Rocflo()
+            module.setup(com, cylinder_blocks(2, 500), np.random.default_rng(0))
+            yield from module.advance(ctx, 1e-6, 1)
+            return ctx.now
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 1, main)
+        assert result.returns[0] == pytest.approx(Rocflo.cost_per_cell * 500, rel=0.1)
+
+
+class TestRocburn:
+    def test_burn_models_all_positive(self):
+        p = np.array([2e6, 6e6, 9e6])
+        ts = np.array([650.0, 700.0, 800.0])
+        for name, fn in BURN_MODELS.items():
+            rates = fn(p, ts)
+            assert np.all(rates > 0), name
+
+    def test_apn_increases_with_pressure(self):
+        lo = apn_rate(np.array([1e6]), np.array([700.0]))
+        hi = apn_rate(np.array([9e6]), np.array([700.0]))
+        assert hi > lo
+
+    def test_zn_sensitive_to_surface_temperature(self):
+        cold = zn_rate(np.array([6e6]), np.array([600.0]))
+        hot = zn_rate(np.array([6e6]), np.array([900.0]))
+        assert hot > cold
+
+    def test_py_arrhenius_form(self):
+        cold = py_rate(np.array([6e6]), np.array([500.0]))
+        hot = py_rate(np.array([6e6]), np.array([900.0]))
+        assert hot > cold
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            Rocburn(model="magic")
+
+    def test_ignition_spreads_over_time(self):
+        com, module = setup_module_with_blocks(Rocburn, nblocks=1, cells=300)
+        window = com.window(module.window_name)
+        f0 = module.fraction_ignited()
+        for step in range(1, 200):
+            for block in module.blocks:
+                module.kernel(window, block, 1e-6, step)
+        f1 = module.fraction_ignited()
+        assert 0 < f0 < 1
+        assert f1 > f0
+
+    def test_unignited_elements_do_not_burn(self):
+        com, module = setup_module_with_blocks(Rocburn, nblocks=1, cells=300)
+        window = com.window(module.window_name)
+        bid = module.blocks[0].block_id
+        for block in module.blocks:
+            module.kernel(window, block, 1e-6, 1)
+        rate = window.get_array("burn_rate", bid)
+        ignited = window.get_array("ignited", bid)
+        assert np.all(rate[ignited == 0] == 0.0)
+
+    def test_burn_distance_monotonic(self):
+        com, module = setup_module_with_blocks(Rocburn, nblocks=1, cells=100)
+        window = com.window(module.window_name)
+        bid = module.blocks[0].block_id
+        prev = window.get_array("burn_distance", bid).copy()
+        for step in range(1, 50):
+            module.kernel(window, module.blocks[0], 1e-6, step)
+            cur = window.get_array("burn_distance", bid)
+            assert np.all(cur >= prev)
+            prev = cur.copy()
+
+
+class TestRocblas:
+    def make(self):
+        com, module = setup_module_with_blocks(Rocfrac, nblocks=2, cells=400)
+        return com, module
+
+    def test_axpy(self):
+        com, module = self.make()
+        w = module.window_name
+        bid = module.blocks[0].block_id
+        com.window(w).get_array("velocity", bid)[:] = 1.0
+        rocblas.axpy(com, 2.0, f"{w}.velocity", f"{w}.displacement")
+        np.testing.assert_allclose(com.window(w).get_array("displacement", bid), 2.0)
+
+    def test_scale(self):
+        com, module = self.make()
+        w = module.window_name
+        bid = module.blocks[0].block_id
+        com.window(w).get_array("velocity", bid)[:] = 3.0
+        rocblas.scale(com, 0.5, f"{w}.velocity")
+        np.testing.assert_allclose(com.window(w).get_array("velocity", bid), 1.5)
+
+    def test_copy_attr(self):
+        com, module = self.make()
+        w = module.window_name
+        bid = module.blocks[0].block_id
+        com.window(w).get_array("velocity", bid)[:] = 7.0
+        rocblas.copy_attr(com, f"{w}.velocity", f"{w}.displacement")
+        np.testing.assert_allclose(com.window(w).get_array("displacement", bid), 7.0)
+
+    def test_local_dot(self):
+        com, module = self.make()
+        w = module.window_name
+        for block in module.blocks:
+            com.window(w).get_array("velocity", block.block_id)[:] = 2.0
+        total_entries = sum(b.nnodes * 3 for b in module.blocks)
+        assert rocblas.local_dot(com, f"{w}.velocity") == pytest.approx(
+            4.0 * total_entries
+        )
+
+    def test_axpy_shape_mismatch(self):
+        com, module = self.make()
+        w = module.window_name
+        with pytest.raises(ValueError):
+            rocblas.axpy(com, 1.0, f"{w}.stress", f"{w}.velocity")
+
+    def test_global_dot_across_ranks(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            module = Rocfrac()
+            specs = cylinder_blocks(
+                2, 200, kind_mix=("unstructured",), id_base=ctx.rank * 10
+            )
+            module.setup(com, specs, np.random.default_rng(0))
+            w = module.window_name
+            for block in module.blocks:
+                com.window(w).get_array("velocity", block.block_id)[:] = 1.0
+            result = yield from rocblas.global_dot(com, ctx.world, f"{w}.velocity")
+            local = rocblas.local_dot(com, f"{w}.velocity")
+            return (local, result)
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 2, main)
+        locals_, globals_ = zip(*result.returns)
+        assert globals_[0] == pytest.approx(sum(locals_))
+        assert globals_[0] == globals_[1]
+
+
+class TestRocface:
+    def test_transfer_applies_pressure(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            fluid = Rocflo()
+            solid = Rocfrac()
+            burn = Rocburn()
+            fluid.setup(com, cylinder_blocks(2, 400), np.random.default_rng(0))
+            solid.setup(
+                com,
+                cylinder_blocks(2, 200, kind_mix=("unstructured",)),
+                np.random.default_rng(1),
+            )
+            burn.setup(
+                com,
+                cylinder_blocks(2, 100, kind_mix=("unstructured",)),
+                np.random.default_rng(2),
+            )
+            face = Rocface(fluid, solid, burn)
+            pressure = yield from face.transfer(ctx, com, ctx.world, 1)
+            t = com.window("Rocfrac").get_array("traction", solid.blocks[0].block_id)
+            bc = com.window("Rocburn").get_array(
+                "pressure_bc", burn.blocks[0].block_id
+            )
+            return (pressure, float(t[0]), float(bc[0]))
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 2, main)
+        for pressure, traction, bc in result.returns:
+            assert pressure == pytest.approx(traction)
+            assert pressure == pytest.approx(bc)
+            assert pressure > 1e6  # chamber-pressure magnitude
+
+    def test_transfer_is_globally_consistent(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            fluid = Rocflo()
+            solid = Rocfrac()
+            fluid.setup(
+                com,
+                cylinder_blocks(2, 300, id_base=10 * ctx.rank, seed=ctx.rank),
+                np.random.default_rng(ctx.rank),
+            )
+            solid.setup(
+                com,
+                cylinder_blocks(
+                    1, 100, kind_mix=("unstructured",), id_base=10 * ctx.rank
+                ),
+                np.random.default_rng(ctx.rank + 5),
+            )
+            face = Rocface(fluid, solid)
+            pressure = yield from face.transfer(ctx, com, ctx.world, 1)
+            return pressure
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 3, main)
+        assert len(set(result.returns)) == 1  # same global pressure everywhere

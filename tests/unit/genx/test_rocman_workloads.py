@@ -1,0 +1,174 @@
+"""Unit tests for Rocman orchestration and workload definitions."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.genx import (
+    GENxConfig,
+    lab_scale_motor,
+    run_genx,
+    scalability_cylinder,
+    snapshot_prefix,
+)
+from repro.genx.rocman import RocmanConfig
+from repro.util import MB
+
+
+class TestSnapshotPrefix:
+    def test_format(self):
+        assert snapshot_prefix("genx", 50, "Rocflo") == "genx_000050_rocflo"
+
+    def test_distinct_per_window(self):
+        a = snapshot_prefix("p", 1, "Rocflo")
+        b = snapshot_prefix("p", 1, "Rocfrac")
+        assert a != b
+
+
+class TestWorkloadSpecs:
+    def test_lab_scale_block_set_is_fixed_across_nclients(self):
+        wl = lab_scale_motor(scale=0.05, nblocks_fluid=16, nblocks_solid=8)
+        b4 = wl.blocks_for(4)
+        b16 = wl.blocks_for(16)
+        assert [s.block_id for s in b4["fluid"]] == [
+            s.block_id for s in b16["fluid"]
+        ]
+        assert sum(s.ncells for s in b4["fluid"]) == sum(
+            s.ncells for s in b16["fluid"]
+        )
+
+    def test_lab_scale_snapshot_size_tracks_scale(self):
+        small = lab_scale_motor(scale=0.1)
+        large = lab_scale_motor(scale=0.2)
+        cells_small = sum(s.ncells for s in small.blocks_for(1)["fluid"])
+        cells_large = sum(s.ncells for s in large.blocks_for(1)["fluid"])
+        assert cells_large / cells_small == pytest.approx(2.0, rel=0.05)
+
+    def test_weak_scaling_blocks_grow_with_clients(self):
+        wl = scalability_cylinder(per_client_bytes=1 * MB)
+        b2 = wl.blocks_for(2)
+        b8 = wl.blocks_for(8)
+        assert len(b8["fluid"]) == 4 * len(b2["fluid"])
+        cells2 = sum(s.ncells for s in b2["fluid"])
+        cells8 = sum(s.ncells for s in b8["fluid"])
+        assert cells8 / cells2 == pytest.approx(4.0, rel=0.05)
+
+    def test_burn_blocks_mirror_fluid_blocks(self):
+        wl = lab_scale_motor(scale=0.05, nblocks_fluid=10, nblocks_solid=5)
+        blocks = wl.blocks_for(1)
+        assert len(blocks["burn"]) == len(blocks["fluid"])
+        assert [b.block_id for b in blocks["burn"]] == [
+            b.block_id for b in blocks["fluid"]
+        ]
+        for burn, fluid in zip(blocks["burn"], blocks["fluid"]):
+            assert burn.nelems <= fluid.nelems
+
+    def test_nsnapshots_counts_initial(self):
+        wl = lab_scale_motor(steps=200, snapshot_interval=50)
+        assert wl.nsnapshots() == 5
+
+    def test_nominal_step_seconds_sets_compute_scale(self):
+        wl = scalability_cylinder(
+            per_client_bytes=1 * MB, nominal_step_seconds=10.0
+        )
+        assert wl.compute_scale > 0
+
+
+class TestRocmanConfig:
+    def test_defaults_match_paper_run(self):
+        cfg = RocmanConfig()
+        assert cfg.steps == 200
+        assert cfg.snapshot_interval == 50
+        assert cfg.initial_snapshot
+
+
+class TestRocmanBehaviour:
+    def _tiny(self, **kwargs):
+        return lab_scale_motor(
+            scale=0.01, nblocks_fluid=8, nblocks_solid=4, **kwargs
+        )
+
+    def test_no_initial_snapshot_option(self):
+        wl = self._tiny(steps=4, snapshot_interval=4)
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(
+                workload=wl, io_mode="rochdf", prefix="ns", initial_snapshot=False
+            ),
+        )
+        assert all(c.rocman.snapshots == 1 for c in result.clients)
+        assert not result.machine.disk.listdir("ns_000000")
+
+    def test_zero_steps_runs_only_initial_snapshot(self):
+        wl = self._tiny(steps=4, snapshot_interval=4)
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(workload=wl, io_mode="rochdf", prefix="z", steps=0),
+        )
+        assert all(c.rocman.steps == 0 for c in result.clients)
+        assert all(c.rocman.snapshots == 1 for c in result.clients)
+
+    def test_pressure_history_recorded(self):
+        wl = self._tiny(steps=10, snapshot_interval=5)
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(workload=wl, io_mode="rochdf", prefix="ph"),
+        )
+        history = result.clients[0].rocman.pressure_history
+        assert len(history) > 0
+        assert all(p > 1e5 for p in history)
+
+    def test_compute_and_output_walls_disjoint(self):
+        wl = self._tiny(steps=8, snapshot_interval=4)
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(workload=wl, io_mode="rochdf", prefix="dw"),
+        )
+        c = result.clients[0]
+        total = c.rocman.compute_wall_time + c.rocman.output_wall_time
+        # The loop wall time is their sum (no double counting).
+        assert c.wall_time == pytest.approx(total, rel=0.05)
+
+
+class TestSolverVariants:
+    """GENx allows plugging different solvers per field (§3.1)."""
+
+    @pytest.mark.parametrize("fluid,solid", [
+        ("rocflu", "rocfrac"),
+        ("rocflo", "rocsolid"),
+        ("rocflu", "rocsolid"),
+    ])
+    def test_alternative_solver_combinations_run(self, fluid, solid):
+        wl = lab_scale_motor(
+            scale=0.01, nblocks_fluid=8, nblocks_solid=4,
+            steps=4, snapshot_interval=4,
+        )
+        wl.fluid_kind = fluid
+        wl.solid_kind = solid
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(workload=wl, io_mode="rochdf", prefix=f"v_{fluid}_{solid}"),
+        )
+        assert all(c.rocman.steps == 4 for c in result.clients)
+        # The snapshot carries the variant window's data.
+        files = result.machine.disk.listdir(f"v_{fluid}_{solid}_000004_{fluid}")
+        assert files
+
+    @pytest.mark.parametrize("burn_model", ["apn", "zn", "py"])
+    def test_burn_model_variants_run(self, burn_model):
+        wl = lab_scale_motor(
+            scale=0.01, nblocks_fluid=8, nblocks_solid=4,
+            steps=4, snapshot_interval=4,
+        )
+        wl.burn_model = burn_model
+        result = run_genx(
+            Machine(make_testbox(), seed=0),
+            2,
+            GENxConfig(workload=wl, io_mode="rochdf", prefix=f"b_{burn_model}"),
+        )
+        assert all(c.rocman.steps == 4 for c in result.clients)

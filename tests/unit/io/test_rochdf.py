@@ -1,0 +1,274 @@
+"""Unit tests for Rochdf and T-Rochdf (individual I/O)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.io import RochdfModule, TRochdfModule, list_snapshot_files, snapshot_file_path
+from repro.roccom import AttributeSpec, LOC_ELEMENT, LOC_NODE, Roccom
+from repro.vmpi import run_spmd
+
+
+def setup_window(com, ctx, nblocks=2, seed_base=100):
+    w = com.new_window("Fluid")
+    w.declare_attribute(AttributeSpec("coords", LOC_NODE, ncomp=3))
+    w.declare_attribute(AttributeSpec("pressure", LOC_ELEMENT))
+    rng = np.random.default_rng(seed_base + ctx.rank)
+    for i in range(nblocks):
+        pane_id = ctx.rank * nblocks + i
+        nn, ne = 8 + i, 4 + i
+        w.register_pane(pane_id, nn, ne)
+        w.set_array("coords", pane_id, rng.random((nn, 3)))
+        w.set_array("pressure", pane_id, rng.random(ne))
+    return w
+
+
+def launch(nprocs, main, disk=None, seed=0):
+    machine = Machine(make_testbox(nnodes=4, cpus_per_node=4), seed=seed, disk=disk)
+    return run_spmd(machine, nprocs, main), machine
+
+
+class TestRochdf:
+    def test_write_creates_one_file_per_rank(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            mod = com.load_module(RochdfModule(ctx))
+            setup_window(com, ctx)
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "snap0")
+            return mod.stats
+
+        result, machine = launch(4, main)
+        files = list_snapshot_files(machine.disk, "snap0")
+        assert len(files) == 4
+        assert files[0] == snapshot_file_path("snap0", 0)
+        assert all(s.files_created == 1 for s in result.returns)
+
+    def test_write_restart_roundtrip_preserves_data(self):
+        written = {}
+
+        def writer_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = setup_window(com, ctx)
+            for pid in w.pane_ids():
+                written[pid] = w.get_array("coords", pid).copy()
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "ckpt")
+
+        _, machine = launch(2, writer_main)
+
+        restored = {}
+
+        def reader_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = com.new_window("Fluid")
+            # Re-register the panes we want (ids only; sizes come back
+            # from the files).
+            for i in range(2):
+                w.register_pane(ctx.rank * 2 + i, 0, 0)
+            ids = yield from com.call_function("OUT.read_attribute", "Fluid", None, "ckpt")
+            for pid in ids:
+                restored[pid] = w.get_array("coords", pid)
+            return ids
+
+        result, _ = launch(2, reader_main, disk=machine.disk)
+        assert result.returns == [[0, 1], [2, 3]]
+        for pid, arr in written.items():
+            np.testing.assert_array_equal(restored[pid], arr)
+
+    def test_restart_with_different_proc_count(self):
+        def writer_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            setup_window(com, ctx, nblocks=2)
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "ck")
+
+        _, machine = launch(4, writer_main)  # blocks 0..7 over 4 files
+
+        def reader_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = com.new_window("Fluid")
+            for pid in range(ctx.rank * 4, ctx.rank * 4 + 4):
+                w.register_pane(pid, 0, 0)
+            ids = yield from com.call_function("OUT.read_attribute", "Fluid", None, "ck")
+            return ids
+
+        result, _ = launch(2, reader_main, disk=machine.disk)
+        assert result.returns == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_missing_blocks_raise(self):
+        def writer_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            setup_window(com, ctx)
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "s")
+
+        _, machine = launch(1, writer_main)
+
+        def reader_main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = com.new_window("Fluid")
+            w.register_pane(999, 0, 0)
+            with pytest.raises(KeyError):
+                yield from com.call_function("OUT.read_attribute", "Fluid", None, "s")
+
+        launch(1, reader_main, disk=machine.disk)
+
+    def test_missing_snapshot_raises(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = com.new_window("Fluid")
+            w.register_pane(0, 0, 0)
+            with pytest.raises(FileNotFoundError):
+                yield from com.call_function("OUT.read_attribute", "Fluid", None, "no")
+
+        launch(1, main)
+
+    def test_visible_write_time_is_positive_and_blocking(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            mod = com.load_module(RochdfModule(ctx))
+            setup_window(com, ctx)
+            t0 = ctx.now
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "s")
+            return (ctx.now - t0, mod.stats.visible_write_time)
+
+        result, _ = launch(2, main)
+        for elapsed, visible in result.returns:
+            assert elapsed > 0
+            assert visible == pytest.approx(elapsed)
+
+    def test_sync_is_noop(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            t0 = ctx.now
+            yield from com.call_function("OUT.sync")
+            return ctx.now - t0
+
+        result, _ = launch(1, main)
+        assert result.returns == [0.0]
+
+
+class TestTRochdf:
+    def test_visible_time_much_smaller_than_rochdf(self):
+        def run_with(module_cls):
+            def main(ctx):
+                com = Roccom(ctx)
+                mod = com.load_module(module_cls(ctx))
+                setup_window(com, ctx, nblocks=4)
+                yield from com.call_function("OUT.write_attribute", "Fluid", None, "s")
+                visible = mod.stats.visible_write_time
+                yield from com.call_function("OUT.sync")
+                return visible
+
+            result, _ = launch(2, main)
+            return max(result.returns)
+
+        t_plain = run_with(RochdfModule)
+        t_threaded = run_with(TRochdfModule)
+        assert t_threaded < t_plain / 3
+
+    def test_data_still_reaches_disk(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(TRochdfModule(ctx))
+            setup_window(com, ctx)
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "ts")
+            yield from com.call_function("OUT.sync")
+
+        _, machine = launch(2, main)
+        assert len(list_snapshot_files(machine.disk, "ts")) == 2
+
+    def test_caller_can_reuse_buffers_immediately(self):
+        """Blocking-I/O semantics: mutating arrays after return must not
+        corrupt what lands on disk (§6: users can reuse their output
+        buffers immediately)."""
+
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(TRochdfModule(ctx))
+            w = setup_window(com, ctx, nblocks=1)
+            original = w.get_array("coords", 0).copy()
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "reuse")
+            # Clobber the registered array immediately after return.
+            w.get_array("coords", 0)[:] = -1.0
+            yield from com.call_function("OUT.sync")
+            return original
+
+        result, machine = launch(1, main)
+        original = result.returns[0]
+
+        from repro.shdf import decode_file
+
+        buf = machine.disk.open(snapshot_file_path("reuse", 0)).read()
+        image = decode_file(buf)
+        np.testing.assert_array_equal(image.get("Fluid/b0/coords").data, original)
+
+    def test_next_snapshot_waits_for_previous(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            mod = com.load_module(TRochdfModule(ctx))
+            setup_window(com, ctx, nblocks=4)
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "s1")
+            t_first = mod.stats.visible_write_time
+            # Immediately request the next snapshot: must wait for the
+            # background write of s1 to finish first.
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "s2")
+            t_second = mod.stats.visible_write_time - t_first
+            yield from com.call_function("OUT.sync")
+            return (t_first, t_second)
+
+        result, _ = launch(1, main)
+        t_first, t_second = result.returns[0]
+        assert t_second > t_first * 2
+
+    def test_same_snapshot_calls_do_not_block(self):
+        def main(ctx):
+            com = Roccom(ctx)
+            mod = com.load_module(TRochdfModule(ctx))
+            setup_window(com, ctx, nblocks=2)
+            w2 = com.new_window("Solid")
+            w2.declare_attribute(AttributeSpec("disp", LOC_NODE, ncomp=3))
+            w2.register_pane(100, 8, 0)
+            w2.set_array("disp", 100, np.zeros((8, 3)))
+            yield from com.call_function(
+                "OUT.write_attribute", "Fluid", None, "snapA_fluid",
+                snapshot_id="snapA",
+            )
+            yield from com.call_function(
+                "OUT.write_attribute", "Solid", None, "snapA_solid",
+                snapshot_id="snapA",
+            )
+            visible = mod.stats.visible_write_time
+            yield from com.call_function("OUT.sync")
+            return visible
+
+        # Both calls buffer back-to-back; visible time stays tiny.
+        result, _ = launch(1, main)
+        assert result.returns[0] < 0.1
+
+    def test_overlap_reduces_total_time(self):
+        """With compute between snapshots, T-Rochdf hides the I/O."""
+
+        def run_with(module_cls):
+            def main(ctx):
+                com = Roccom(ctx)
+                com.load_module(module_cls(ctx))
+                setup_window(com, ctx, nblocks=4)
+                for step in range(3):
+                    yield from com.call_function(
+                        "OUT.write_attribute", "Fluid", None, f"o{step}"
+                    )
+                    yield from ctx.compute(2.0)
+                yield from com.call_function("OUT.sync")
+                return ctx.now
+
+            result, _ = launch(2, main)
+            return result.wall_time
+
+        assert run_with(TRochdfModule) < run_with(RochdfModule)

@@ -1,0 +1,52 @@
+"""Unit tests for Rocpanda topology planning (no simulation needed)."""
+
+import pytest
+
+from repro.io.rocpanda.topology import _plan, server_ranks
+
+
+class TestServerRanks:
+    def test_frost_style_one_per_sixteen(self):
+        # 480 clients + 32 servers: server on every 16th rank.
+        ranks = server_ranks(512, 32)
+        assert ranks == list(range(0, 512, 16))
+
+    def test_turing_table1_configs(self):
+        assert server_ranks(18, 2) == [0, 9]
+        assert server_ranks(36, 4) == [0, 9, 18, 27]
+        assert server_ranks(72, 8) == [0, 9, 18, 27, 36, 45, 54, 63]
+
+    def test_single_server(self):
+        assert server_ranks(5, 1) == [0]
+
+    def test_all_servers_edge(self):
+        assert server_ranks(3, 3) == [0, 1, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            server_ranks(4, 0)
+        with pytest.raises(ValueError):
+            server_ranks(4, 5)
+
+
+class TestAssignmentPlan:
+    def test_every_client_has_exactly_one_server(self):
+        servers, assignment = _plan(18, 2)
+        all_clients = [c for group in assignment.values() for c in group]
+        assert sorted(all_clients) == [r for r in range(18) if r not in servers]
+
+    def test_groups_are_contiguous_following_ranks(self):
+        servers, assignment = _plan(18, 2)
+        assert assignment[0] == list(range(1, 9))
+        assert assignment[9] == list(range(10, 18))
+
+    def test_trailing_ranks_fall_to_last_server(self):
+        servers, assignment = _plan(10, 3)
+        # stride = 3: servers 0, 3, 6; ranks 7, 8, 9 follow server 6.
+        assert servers == [0, 3, 6]
+        assert assignment[6] == [7, 8, 9]
+
+    def test_groups_balanced_for_even_split(self):
+        servers, assignment = _plan(64, 8)
+        sizes = [len(v) for v in assignment.values()]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,234 @@
+"""Unit tests for the Roccom registry, dispatch, and module lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.roccom import (
+    IO_WINDOW,
+    AttributeSpec,
+    LOC_NODE,
+    Roccom,
+    ServiceModule,
+)
+from repro.roccom.bindings import (
+    COM_call_function,
+    COM_finalize,
+    COM_get_array,
+    COM_get_com,
+    COM_init,
+    COM_new_attribute,
+    COM_new_window,
+    COM_register_function,
+    COM_register_pane,
+    COM_set_array,
+    f90_string,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_bindings():
+    COM_finalize()
+    yield
+    COM_finalize()
+
+
+class TestRegistry:
+    def test_window_lifecycle(self):
+        com = Roccom()
+        com.new_window("A")
+        assert com.has_window("A")
+        assert com.window_names() == ["A"]
+        com.delete_window("A")
+        assert not com.has_window("A")
+
+    def test_duplicate_window_rejected(self):
+        com = Roccom()
+        com.new_window("A")
+        with pytest.raises(ValueError):
+            com.new_window("A")
+
+    def test_missing_window_raises(self):
+        com = Roccom()
+        with pytest.raises(KeyError):
+            com.window("X")
+        with pytest.raises(KeyError):
+            com.delete_window("X")
+
+    def test_qualified_array_access(self):
+        com = Roccom()
+        w = com.new_window("Fluid")
+        w.declare_attribute(AttributeSpec("coords", LOC_NODE, ncomp=3))
+        w.register_pane(7, nnodes=4, nelems=0)
+        com.set_array("Fluid.coords", 7, np.ones((4, 3)))
+        np.testing.assert_array_equal(
+            com.get_array("Fluid.coords", 7), np.ones((4, 3))
+        )
+
+    def test_unqualified_name_rejected(self):
+        com = Roccom()
+        with pytest.raises(ValueError):
+            com.get_array("no_dot", 0)
+
+    def test_call_sync_plain_function(self):
+        com = Roccom()
+        w = com.new_window("Svc")
+        w.register_function("double", lambda x: 2 * x)
+        assert com.call_sync("Svc.double", 21) == 42
+
+    def test_call_sync_rejects_generators(self):
+        com = Roccom()
+        w = com.new_window("Svc")
+
+        def gen_fn():
+            yield
+
+        w.register_function("blocking", gen_fn)
+        with pytest.raises(TypeError):
+            com.call_sync("Svc.blocking")
+
+    def test_call_function_drives_generators(self):
+        env = Environment()
+        com = Roccom()
+        w = com.new_window("Svc")
+
+        def blocking_op(duration):
+            yield env.timeout(duration)
+            return "wrote"
+
+        w.register_function("write", blocking_op)
+        out = []
+
+        def proc():
+            result = yield from com.call_function("Svc.write", 2.5)
+            out.append((result, env.now))
+
+        env.process(proc())
+        env.run()
+        assert out == [("wrote", 2.5)]
+
+    def test_call_function_plain_result_passthrough(self):
+        com = Roccom()
+        w = com.new_window("Svc")
+        w.register_function("f", lambda: 7)
+        env = Environment()
+        out = []
+
+        def proc():
+            result = yield from com.call_function("Svc.f")
+            out.append(result)
+            yield env.timeout(0)
+
+        env.process(proc())
+        env.run()
+        assert out == [7]
+
+
+class DummyIOModule(ServiceModule):
+    name = "dummyio"
+
+    def __init__(self):
+        self.loaded = False
+
+    def load(self, com):
+        self._register_io_window(com)
+        self.loaded = True
+
+    def unload(self, com):
+        self._deregister_io_window(com)
+        self.loaded = False
+
+    def write_attribute(self, *args, **kwargs):
+        return "write"
+
+    def read_attribute(self, *args, **kwargs):
+        return "read"
+
+    def sync(self):
+        return "sync"
+
+
+class DummyIOModule2(DummyIOModule):
+    name = "dummyio2"
+
+    def write_attribute(self, *args, **kwargs):
+        return "write2"
+
+
+class TestModuleLifecycle:
+    def test_load_registers_io_window(self):
+        com = Roccom()
+        com.load_module(DummyIOModule())
+        assert com.has_window(IO_WINDOW)
+        assert com.call_sync(f"{IO_WINDOW}.write_attribute") == "write"
+        assert com.loaded_modules() == ["dummyio"]
+
+    def test_double_load_rejected(self):
+        com = Roccom()
+        com.load_module(DummyIOModule())
+        with pytest.raises(ValueError):
+            com.load_module(DummyIOModule())
+
+    def test_unload_removes_window(self):
+        com = Roccom()
+        mod = com.load_module(DummyIOModule())
+        com.unload_module("dummyio")
+        assert not com.has_window(IO_WINDOW)
+        assert not mod.loaded
+        with pytest.raises(KeyError):
+            com.unload_module("dummyio")
+
+    def test_swap_modules_keeps_interface(self):
+        """§5: switching I/O services = load a different module."""
+        com = Roccom()
+        com.load_module(DummyIOModule())
+        assert com.call_sync(f"{IO_WINDOW}.write_attribute") == "write"
+        com.unload_module("dummyio")
+        com.load_module(DummyIOModule2())
+        assert com.call_sync(f"{IO_WINDOW}.write_attribute") == "write2"
+
+    def test_module_accessor(self):
+        com = Roccom()
+        mod = com.load_module(DummyIOModule())
+        assert com.module("dummyio") is mod
+        with pytest.raises(KeyError):
+            com.module("nope")
+
+
+class TestCBindings:
+    def test_init_finalize(self):
+        com = COM_init()
+        assert COM_get_com() is com
+        with pytest.raises(RuntimeError):
+            COM_init()
+        COM_finalize()
+        with pytest.raises(RuntimeError):
+            COM_get_com()
+
+    def test_f90_string_trims_trailing_blanks(self):
+        assert f90_string("Fluid   ") == "Fluid"
+        assert f90_string("  lead") == "  lead"
+
+    def test_procedural_workflow(self):
+        COM_init()
+        COM_new_window("Solid  ")  # Fortran-style padded name
+        COM_new_attribute("Solid.coords", LOC_NODE, ncomp=3)
+        COM_register_pane("Solid", 2, nnodes=5, nelems=0)
+        COM_set_array("Solid.coords", 2, np.zeros((5, 3)))
+        assert COM_get_array("Solid.coords ", 2).shape == (5, 3)
+
+    def test_procedural_function_call(self):
+        COM_init()
+        COM_new_window("Svc")
+        COM_register_function("Svc.add", lambda a, b: a + b)
+        env = Environment()
+        out = []
+
+        def proc():
+            result = yield from COM_call_function("Svc.add", 2, 3)
+            out.append(result)
+            yield env.timeout(0)
+
+        env.process(proc())
+        env.run()
+        assert out == [5]

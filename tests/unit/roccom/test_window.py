@@ -1,0 +1,185 @@
+"""Unit tests for Roccom windows, panes, and attributes."""
+
+import numpy as np
+import pytest
+
+from repro.roccom import (
+    LOC_ELEMENT,
+    LOC_NODE,
+    LOC_PANE,
+    LOC_WINDOW,
+    AttributeSpec,
+    Window,
+)
+
+
+class TestAttributeSpec:
+    def test_basic(self):
+        spec = AttributeSpec("pressure", LOC_ELEMENT, ncomp=1, dtype="f8", unit="Pa")
+        assert spec.expected_shape(10) == (10,)
+
+    def test_multicomponent_shape(self):
+        spec = AttributeSpec("coords", LOC_NODE, ncomp=3)
+        assert spec.expected_shape(7) == (7, 3)
+
+    def test_bad_names(self):
+        for bad in ("", "a/b", "a.b"):
+            with pytest.raises(ValueError):
+                AttributeSpec(bad, LOC_NODE)
+
+    def test_bad_location(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "corner")
+
+    def test_bad_ncomp(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", LOC_NODE, ncomp=0)
+
+    def test_bad_dtype(self):
+        with pytest.raises(TypeError):
+            AttributeSpec("x", LOC_NODE, dtype="not-a-dtype")
+
+    def test_validate_shape_mismatch(self):
+        spec = AttributeSpec("coords", LOC_NODE, ncomp=3)
+        with pytest.raises(ValueError, match="shape"):
+            spec.validate(np.zeros((5, 2)), 5)
+
+    def test_validate_dtype_mismatch(self):
+        spec = AttributeSpec("p", LOC_NODE, dtype="f8")
+        with pytest.raises(ValueError, match="dtype"):
+            spec.validate(np.zeros(5, dtype=np.float32), 5)
+
+    def test_validate_accepts_column_for_scalar(self):
+        spec = AttributeSpec("p", LOC_NODE, ncomp=1)
+        spec.validate(np.zeros((5, 1)), 5)  # squeezed column OK
+
+    def test_window_location_has_no_shape(self):
+        spec = AttributeSpec("step", LOC_WINDOW)
+        with pytest.raises(ValueError):
+            spec.expected_shape(3)
+
+
+class TestWindow:
+    def make_window(self):
+        w = Window("Fluid")
+        w.declare_attribute(AttributeSpec("coords", LOC_NODE, ncomp=3))
+        w.declare_attribute(AttributeSpec("conn", LOC_ELEMENT, ncomp=8, dtype="i8"))
+        w.declare_attribute(AttributeSpec("pressure", LOC_ELEMENT))
+        w.declare_attribute(AttributeSpec("scratch", LOC_PANE, dtype="f4"))
+        w.declare_attribute(AttributeSpec("time", LOC_WINDOW))
+        return w
+
+    def test_bad_window_name(self):
+        with pytest.raises(ValueError):
+            Window("bad.name")
+
+    def test_duplicate_attribute_rejected(self):
+        w = self.make_window()
+        with pytest.raises(ValueError):
+            w.declare_attribute(AttributeSpec("coords", LOC_NODE))
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(KeyError):
+            self.make_window().attribute("nope")
+
+    def test_register_pane_and_arrays(self):
+        w = self.make_window()
+        w.register_pane(3, nnodes=10, nelems=4)
+        w.set_array("coords", 3, np.zeros((10, 3)))
+        w.set_array("pressure", 3, np.ones(4))
+        np.testing.assert_array_equal(w.get_array("pressure", 3), np.ones(4))
+
+    def test_duplicate_pane_rejected(self):
+        w = self.make_window()
+        w.register_pane(1, 5, 2)
+        with pytest.raises(ValueError):
+            w.register_pane(1, 5, 2)
+
+    def test_unknown_pane_raises(self):
+        w = self.make_window()
+        with pytest.raises(KeyError):
+            w.pane(99)
+
+    def test_deregister_pane(self):
+        w = self.make_window()
+        w.register_pane(1, 5, 2)
+        w.deregister_pane(1)
+        assert w.npanes == 0
+        with pytest.raises(KeyError):
+            w.deregister_pane(1)
+
+    def test_set_array_validates_shape(self):
+        w = self.make_window()
+        w.register_pane(0, nnodes=10, nelems=4)
+        with pytest.raises(ValueError):
+            w.set_array("coords", 0, np.zeros((9, 3)))
+
+    def test_pane_located_array_any_size(self):
+        w = self.make_window()
+        w.register_pane(0, nnodes=10, nelems=4)
+        w.set_array("scratch", 0, np.zeros(123, dtype=np.float32))
+        assert w.get_array("scratch", 0).shape == (123,)
+
+    def test_pane_located_dtype_checked(self):
+        w = self.make_window()
+        w.register_pane(0, 10, 4)
+        with pytest.raises(ValueError):
+            w.set_array("scratch", 0, np.zeros(5, dtype=np.float64))
+
+    def test_window_value_roundtrip(self):
+        w = self.make_window()
+        w.set_window_value("time", 0.83)
+        assert w.get_window_value("time") == 0.83
+
+    def test_window_value_wrong_location(self):
+        w = self.make_window()
+        w.register_pane(0, 10, 4)
+        with pytest.raises(ValueError):
+            w.set_window_value("pressure", 1.0)
+        with pytest.raises(ValueError):
+            w.get_array("time", 0)
+
+    def test_missing_array_raises(self):
+        w = self.make_window()
+        w.register_pane(0, 10, 4)
+        with pytest.raises(KeyError):
+            w.get_array("pressure", 0)
+        assert not w.has_array("pressure", 0)
+
+    def test_pane_iteration_sorted_by_id(self):
+        w = self.make_window()
+        for pane_id in (5, 1, 3):
+            w.register_pane(pane_id, 2, 1)
+        assert [p.id for p in w.panes()] == [1, 3, 5]
+        assert w.pane_ids() == [1, 3, 5]
+
+    def test_functions(self):
+        w = self.make_window()
+        w.register_function("hello", lambda: "hi")
+        assert w.function("hello")() == "hi"
+        assert w.function_names() == ["hello"]
+        with pytest.raises(ValueError):
+            w.register_function("hello", lambda: None)
+        with pytest.raises(KeyError):
+            w.function("nope")
+
+    def test_nbytes_accounting(self):
+        w = self.make_window()
+        w.register_pane(0, nnodes=10, nelems=4)
+        w.set_array("coords", 0, np.zeros((10, 3)))
+        assert w.local_nbytes == 240
+        assert w.pane(0).nbytes == 240
+
+    def test_resize_drops_stale_arrays(self):
+        w = self.make_window()
+        pane = w.register_pane(0, nnodes=10, nelems=4)
+        w.set_array("coords", 0, np.zeros((10, 3)))
+        pane.resize(nnodes=12)
+        assert not w.has_array("coords", 0)
+        w.set_array("coords", 0, np.zeros((12, 3)))  # new size accepted
+
+    def test_pane_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Window("W").register_pane(-1, 1, 1)
+        with pytest.raises(ValueError):
+            Window("W").register_pane(0, -1, 1)

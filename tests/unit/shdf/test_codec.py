@@ -1,0 +1,154 @@
+"""Unit tests for the SHDF binary codec."""
+
+import numpy as np
+import pytest
+
+from repro.shdf import (
+    CodecError,
+    Dataset,
+    FileImage,
+    decode_file,
+    decode_header,
+    encode_dataset,
+    encode_file,
+    encode_header,
+    iter_records,
+)
+
+
+def build_image():
+    img = FileImage({"sim": "GENx", "time_step": 50, "dt": 1e-6})
+    img.add(
+        Dataset(
+            "block_001/coords",
+            np.random.default_rng(0).random((10, 3)),
+            {"units": "m", "ghost_layers": 1},
+        )
+    )
+    img.add(Dataset("block_001/pressure", np.arange(10, dtype=np.float32)))
+    img.add(
+        Dataset(
+            "block_002/conn",
+            np.arange(24, dtype=np.int64).reshape(6, 4),
+            {"element_type": "tet"},
+        )
+    )
+    return img
+
+
+def test_roundtrip_full_file():
+    img = build_image()
+    assert decode_file(encode_file(img)) == img
+
+
+def test_header_roundtrip():
+    attrs = {"a": 1, "b": "text", "c": 2.5}
+    buf = encode_header(attrs)
+    decoded, pos = decode_header(buf)
+    assert decoded == attrs
+    assert pos == len(buf)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CodecError):
+        decode_file(b"NOPE" + b"\x00" * 20)
+
+
+def test_truncated_file_rejected():
+    buf = encode_file(build_image())
+    with pytest.raises(CodecError):
+        decode_file(buf[:-5])
+
+
+def test_incremental_append_matches_batch_encode():
+    img = build_image()
+    incremental = encode_header(img.attrs)
+    for ds in img:
+        incremental += encode_dataset(ds)
+    assert incremental == encode_file(img)
+
+
+def test_iter_records_streams_datasets():
+    img = build_image()
+    names = [d.name for d in iter_records(encode_file(img))]
+    assert names == img.names()
+
+
+def test_empty_file_roundtrip():
+    img = FileImage()
+    assert decode_file(encode_file(img)) == img
+
+
+def test_attr_types_roundtrip():
+    attrs = {
+        "none": None,
+        "bool_t": True,
+        "bool_f": False,
+        "int": -(2**40),
+        "float": 3.14159,
+        "str": "héllo ωorld",
+        "bytes": b"\x00\x01\xff",
+        "array": np.array([[1.5, 2.5]], dtype=np.float32),
+        "list": [1, 2.0, "three", None, [True]],
+    }
+    img = FileImage(attrs)
+    decoded = decode_file(encode_file(img))
+    got = decoded.attrs
+    assert got["none"] is None
+    assert got["bool_t"] is True and got["bool_f"] is False
+    assert got["int"] == -(2**40)
+    assert got["float"] == pytest.approx(3.14159)
+    assert got["str"] == "héllo ωorld"
+    assert got["bytes"] == b"\x00\x01\xff"
+    np.testing.assert_array_equal(got["array"], attrs["array"])
+    assert got["list"] == [1, 2.0, "three", None, [True]]
+
+
+def test_huge_int_attr_rejected():
+    img = FileImage({"too_big": 1 << 70})
+    with pytest.raises(CodecError):
+        encode_file(img)
+
+
+@pytest.mark.parametrize(
+    "dtype",
+    ["f4", "f8", "i1", "i2", "i4", "i8", "u1", "u4", "u8", "c8", "c16", "?"],
+)
+def test_dtypes_roundtrip(dtype):
+    data = np.ones(7, dtype=dtype)
+    img = FileImage()
+    img.add(Dataset("d", data))
+    out = decode_file(encode_file(img)).get("d")
+    assert out.data.dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(out.data, data)
+
+
+def test_zero_dim_array_roundtrip():
+    img = FileImage()
+    img.add(Dataset("scalar", np.array(42.0)))
+    out = decode_file(encode_file(img)).get("scalar")
+    assert out.data.shape == ()
+    assert float(out.data) == 42.0
+
+
+def test_empty_array_roundtrip():
+    img = FileImage()
+    img.add(Dataset("empty", np.zeros((0, 3))))
+    out = decode_file(encode_file(img)).get("empty")
+    assert out.data.shape == (0, 3)
+
+
+def test_large_dataset_roundtrip():
+    data = np.random.default_rng(1).random(100_000)
+    img = FileImage()
+    img.add(Dataset("big", data))
+    out = decode_file(encode_file(img)).get("big")
+    np.testing.assert_array_equal(out.data, data)
+
+
+def test_decoded_arrays_are_writable_copies():
+    img = FileImage()
+    img.add(Dataset("d", np.arange(5)))
+    out = decode_file(encode_file(img)).get("d")
+    out.data[0] = 99  # must not raise (no read-only frombuffer views)
+    assert out.data[0] == 99

@@ -1,0 +1,179 @@
+"""Unit tests for the v2 (indexed) SHDF format."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.fs import LocalFSModel
+from repro.shdf import (
+    CodecError,
+    Dataset,
+    FileImage,
+    SHDFReader,
+    SHDFWriter,
+    decode_file,
+    decode_file_v2,
+    detect_version,
+    encode_file,
+    encode_file_v2,
+    hdf4_driver,
+    hdf5_driver,
+    iter_records,
+    read_dataset_at,
+    read_index,
+)
+
+
+def build_image():
+    img = FileImage({"run": "v2", "step": 7})
+    rng = np.random.default_rng(0)
+    img.add(Dataset("a/coords", rng.random((8, 3)), {"unit": "m"}))
+    img.add(Dataset("a/pressure", rng.random(6)))
+    img.add(Dataset("b/conn", np.arange(12, dtype=np.int64).reshape(3, 4)))
+    return img
+
+
+class TestCodecV2:
+    def test_version_detection(self):
+        img = build_image()
+        assert detect_version(encode_file(img)) == 1
+        assert detect_version(encode_file_v2(img)) == 2
+
+    def test_detect_rejects_garbage(self):
+        with pytest.raises(CodecError):
+            detect_version(b"JUNKxx")
+
+    def test_roundtrip_via_v2_decoder(self):
+        img = build_image()
+        assert decode_file_v2(encode_file_v2(img)) == img
+
+    def test_roundtrip_via_generic_decoder(self):
+        img = build_image()
+        assert decode_file(encode_file_v2(img)) == img
+
+    def test_index_maps_every_dataset(self):
+        img = build_image()
+        buf = encode_file_v2(img)
+        index = read_index(buf)
+        assert set(index) == set(img.names())
+        for name, (offset, length) in index.items():
+            ds = read_dataset_at(buf, offset)
+            assert ds.name == name
+            assert ds == img.get(name)
+
+    def test_random_access_without_touching_other_records(self):
+        img = build_image()
+        buf = bytearray(encode_file_v2(img))
+        index = read_index(bytes(buf))
+        # Corrupt a record we are NOT reading; random access must not care.
+        first_name = img.names()[0]
+        other = [n for n in index if n != first_name][0]
+        off, length = index[other]
+        buf[off + 8 : off + 12] = b"\xff\xff\xff\xff"
+        ds = read_dataset_at(bytes(buf), index[first_name][0])
+        assert ds == img.get(first_name)
+
+    def test_missing_footer_raises_in_read_index(self):
+        buf = encode_file_v2(build_image())[:-4]
+        with pytest.raises(CodecError):
+            read_index(buf)
+
+    def test_unclosed_v2_file_falls_back_to_scan(self):
+        """A v2 header without index (crash before close) still decodes
+        via the sequential path."""
+        from repro.shdf.codec import encode_dataset
+        from repro.shdf.codec_v2 import encode_header_v2
+
+        img = build_image()
+        buf = encode_header_v2(img.attrs)
+        for ds in img:
+            buf += encode_dataset(ds)
+        decoded = decode_file(buf)
+        assert decoded == img
+
+    def test_iter_records_stops_before_index(self):
+        img = build_image()
+        names = [d.name for d in iter_records(encode_file_v2(img))]
+        assert names == img.names()
+
+    def test_empty_v2_file(self):
+        img = FileImage({"only": "attrs"})
+        assert decode_file(encode_file_v2(img)) == img
+
+    def test_corrupt_index_offset_rejected(self):
+        import struct
+
+        buf = bytearray(encode_file_v2(build_image()))
+        buf[-12:-4] = struct.pack("<Q", len(buf))  # out of range
+        with pytest.raises(CodecError):
+            read_index(bytes(buf))
+
+
+class TestWriterIntegration:
+    def run(self, env, gen):
+        def proc():
+            result = yield from gen
+            return result
+
+        p = env.process(proc())
+        env.run(until=p)
+        return p.value
+
+    def test_hdf5_driver_writes_v2_by_default(self):
+        env = Environment()
+        fs = LocalFSModel(env)
+
+        def program():
+            writer = SHDFWriter(env, fs, "f5.shdf", hdf5_driver())
+            assert writer.format_version == 2
+            yield from writer.open(file_attrs={"x": 1})
+            yield from writer.write_dataset(Dataset("d", np.arange(4.0)))
+            yield from writer.close()
+
+        self.run(env, program())
+        buf = fs.disk.open("f5.shdf").read()
+        assert detect_version(buf) == 2
+        assert "d" in read_index(buf)
+
+    def test_hdf4_driver_writes_v1_by_default(self):
+        env = Environment()
+        fs = LocalFSModel(env)
+
+        def program():
+            writer = SHDFWriter(env, fs, "f4.shdf", hdf4_driver())
+            assert writer.format_version == 1
+            yield from writer.open()
+            yield from writer.write_dataset(Dataset("d", np.arange(4.0)))
+            yield from writer.close()
+
+        self.run(env, program())
+        assert detect_version(fs.disk.open("f4.shdf").read()) == 1
+
+    def test_explicit_version_override(self):
+        env = Environment()
+        fs = LocalFSModel(env)
+        writer = SHDFWriter(env, fs, "x.shdf", hdf4_driver(), format_version=2)
+        assert writer.format_version == 2
+        with pytest.raises(ValueError):
+            SHDFWriter(env, fs, "y.shdf", format_version=3)
+
+    def test_reader_roundtrip_v2(self):
+        env = Environment()
+        fs = LocalFSModel(env)
+        blocks = [Dataset(f"d{i}", np.full(5, float(i))) for i in range(4)]
+
+        def program():
+            writer = SHDFWriter(env, fs, "r.shdf", hdf5_driver())
+            yield from writer.open(file_attrs={"k": "v"})
+            for b in blocks:
+                yield from writer.write_dataset(b)
+            yield from writer.close()
+            reader = SHDFReader(env, fs, "r.shdf", hdf5_driver())
+            attrs = yield from reader.open()
+            out = yield from reader.read_all()
+            yield from reader.close()
+            return attrs, out
+
+        attrs, out = self.run(env, program())
+        assert attrs == {"k": "v"}
+        assert out == blocks

@@ -1,0 +1,105 @@
+"""Unit tests for the SHDF object model."""
+
+import numpy as np
+import pytest
+
+from repro.shdf import Dataset, FileImage
+
+
+class TestDataset:
+    def test_basic_construction(self):
+        d = Dataset("pressure", np.zeros((4, 5)), {"units": "Pa"})
+        assert d.name == "pressure"
+        assert d.shape == (4, 5)
+        assert d.nbytes == 160
+        assert d.attrs["units"] == "Pa"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset("", np.zeros(3))
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeError):
+            Dataset("x", [1, 2, 3])
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Dataset("x", np.array([object()]))
+
+    def test_non_string_attr_key_rejected(self):
+        with pytest.raises(TypeError):
+            Dataset("x", np.zeros(1), {1: "bad"})
+
+    def test_unsupported_attr_value_rejected(self):
+        with pytest.raises(TypeError):
+            Dataset("x", np.zeros(1), {"bad": object()})
+
+    def test_data_made_contiguous(self):
+        arr = np.arange(20).reshape(4, 5).T  # non-contiguous view
+        d = Dataset("x", arr)
+        assert d.data.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(d.data, arr)
+
+    def test_equality_includes_data_and_attrs(self):
+        a = Dataset("x", np.arange(3), {"k": 1})
+        b = Dataset("x", np.arange(3), {"k": 1})
+        c = Dataset("x", np.arange(3), {"k": 2})
+        d = Dataset("x", np.array([0, 1, 3]), {"k": 1})
+        assert a == b
+        assert a != c
+        assert a != d
+
+    def test_equality_with_nan(self):
+        a = Dataset("x", np.array([np.nan, 1.0]))
+        b = Dataset("x", np.array([np.nan, 1.0]))
+        assert a == b
+
+    def test_equality_with_array_attrs(self):
+        a = Dataset("x", np.zeros(1), {"v": np.array([1, 2])})
+        b = Dataset("x", np.zeros(1), {"v": np.array([1, 2])})
+        c = Dataset("x", np.zeros(1), {"v": np.array([1, 3])})
+        assert a == b
+        assert a != c
+
+
+class TestFileImage:
+    def test_add_and_get(self):
+        img = FileImage({"run": "test"})
+        img.add(Dataset("a", np.zeros(2)))
+        img.add(Dataset("b", np.ones(3)))
+        assert len(img) == 2
+        assert "a" in img
+        assert img.get("b").data.sum() == 3
+
+    def test_duplicate_name_rejected(self):
+        img = FileImage()
+        img.add(Dataset("a", np.zeros(1)))
+        with pytest.raises(ValueError):
+            img.add(Dataset("a", np.zeros(1)))
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError):
+            FileImage().get("nope")
+
+    def test_insertion_order_preserved(self):
+        img = FileImage()
+        for name in ("z", "a", "m"):
+            img.add(Dataset(name, np.zeros(1)))
+        assert img.names() == ["z", "a", "m"]
+
+    def test_data_nbytes(self):
+        img = FileImage()
+        img.add(Dataset("a", np.zeros(10, dtype=np.float64)))
+        img.add(Dataset("b", np.zeros(5, dtype=np.int32)))
+        assert img.data_nbytes == 80 + 20
+
+    def test_image_equality(self):
+        def build():
+            img = FileImage({"t": 1})
+            img.add(Dataset("a", np.arange(4), {"u": "m"}))
+            return img
+
+        assert build() == build()
+        other = build()
+        other.add(Dataset("extra", np.zeros(1)))
+        assert build() != other

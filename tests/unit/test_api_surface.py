@@ -1,0 +1,62 @@
+"""Public-API surface checks: imports, __all__ integrity, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.des",
+    "repro.cluster",
+    "repro.fs",
+    "repro.vmpi",
+    "repro.vthread",
+    "repro.shdf",
+    "repro.roccom",
+    "repro.io",
+    "repro.io.rocpanda",
+    "repro.genx",
+    "repro.genx.physics",
+    "repro.rocketeer",
+    "repro.bench",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_classes_and_functions_documented(name):
+    """Every exported class/function carries a docstring."""
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{name}.{symbol} lacks a docstring"
+            )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,44 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "fig3a", "fig3b", "ablations", "demo"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--quick", "--runs", "5", "--seed", "9", "--out", "/tmp/x", "demo"]
+        )
+        assert args.quick
+        assert args.runs == 5
+        assert args.seed == 9
+        assert args.out == "/tmp/x"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestDemoCommand:
+    def test_quick_demo_runs_and_saves(self, tmp_path, capsys):
+        rc = main(["--quick", "--out", str(tmp_path), "demo"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rocpanda" in out
+        assert "visible I/O" in out
+        saved = os.path.join(str(tmp_path), "demo.txt")
+        assert os.path.exists(saved)
+        assert "rochdf" in open(saved).read()

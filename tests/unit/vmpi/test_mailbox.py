@@ -1,0 +1,110 @@
+"""Unit tests for the vmpi mailbox matching semantics."""
+
+import pytest
+
+from repro.des import Environment
+from repro.vmpi import ANY_SOURCE, ANY_TAG, Envelope, Mailbox
+
+
+def make_envelope(src=0, tag=0, payload="x", seq=0):
+    return Envelope(
+        comm_id=0,
+        src=src,
+        dst=1,
+        tag=tag,
+        payload=payload,
+        nbytes=1,
+        mode="eager",
+        seq=seq,
+    )
+
+
+def drain(env):
+    env.run()
+
+
+class TestImmediateQueries:
+    def test_find_does_not_remove(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.deliver(make_envelope(tag=5))
+        assert box.find(ANY_SOURCE, 5) is not None
+        assert len(box) == 1
+
+    def test_take_removes(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.deliver(make_envelope(tag=5))
+        assert box.take(ANY_SOURCE, 5) is not None
+        assert len(box) == 0
+        assert box.take(ANY_SOURCE, 5) is None
+
+    def test_wildcards(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.deliver(make_envelope(src=3, tag=7))
+        assert box.find(ANY_SOURCE, ANY_TAG).src == 3
+        assert box.find(3, ANY_TAG) is not None
+        assert box.find(2, ANY_TAG) is None
+        assert box.find(ANY_SOURCE, 8) is None
+
+    def test_fifo_among_matches(self):
+        env = Environment()
+        box = Mailbox(env)
+        box.deliver(make_envelope(tag=1, payload="first", seq=1))
+        box.deliver(make_envelope(tag=1, payload="second", seq=2))
+        assert box.take(ANY_SOURCE, 1).payload == "first"
+
+
+class TestWaiters:
+    def test_get_fires_on_delivery(self):
+        env = Environment()
+        box = Mailbox(env)
+        event = box.get_matching(ANY_SOURCE, 9)
+        assert not event.triggered
+        box.deliver(make_envelope(tag=9, payload="late"))
+        drain(env)
+        assert event.value.payload == "late"
+        assert len(box) == 0
+
+    def test_peek_leaves_message(self):
+        env = Environment()
+        box = Mailbox(env)
+        event = box.peek_matching(ANY_SOURCE, ANY_TAG)
+        box.deliver(make_envelope(payload="keep"))
+        drain(env)
+        assert event.value.payload == "keep"
+        assert len(box) == 1
+
+    def test_peek_and_get_both_served_by_one_message(self):
+        env = Environment()
+        box = Mailbox(env)
+        peek = box.peek_matching(ANY_SOURCE, ANY_TAG)
+        get = box.get_matching(ANY_SOURCE, ANY_TAG)
+        box.deliver(make_envelope(payload="one"))
+        drain(env)
+        assert peek.value.payload == "one"
+        assert get.value.payload == "one"
+        assert len(box) == 0
+
+    def test_two_getters_get_distinct_messages(self):
+        env = Environment()
+        box = Mailbox(env)
+        g1 = box.get_matching(ANY_SOURCE, ANY_TAG)
+        g2 = box.get_matching(ANY_SOURCE, ANY_TAG)
+        box.deliver(make_envelope(payload="a", seq=1))
+        box.deliver(make_envelope(payload="b", seq=2))
+        drain(env)
+        assert {g1.value.payload, g2.value.payload} == {"a", "b"}
+
+    def test_selective_waiter_skips_nonmatching(self):
+        env = Environment()
+        box = Mailbox(env)
+        event = box.get_matching(2, 5)
+        box.deliver(make_envelope(src=1, tag=5))
+        drain(env)
+        assert not event.triggered
+        box.deliver(make_envelope(src=2, tag=5, payload="match"))
+        drain(env)
+        assert event.value.payload == "match"
+        assert len(box) == 1  # the non-matching one remains

@@ -1,0 +1,85 @@
+"""Unit tests for rank placement policies."""
+
+import pytest
+
+from repro.cluster import testbox as make_testbox
+from repro.vmpi import placement
+
+
+def spec(nnodes=4, cpus=4):
+    return make_testbox(nnodes=nnodes, cpus_per_node=cpus)
+
+
+class TestBlock:
+    def test_fills_nodes_in_order(self):
+        slots = placement.block(spec(), 6)
+        assert slots == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1)]
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            placement.block(spec(nnodes=1, cpus=2), 3)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            placement.block(spec(), 0)
+
+
+class TestLeaveOneIdle:
+    def test_skips_last_cpu_of_each_node(self):
+        slots = placement.leave_one_idle(spec(), 5)
+        assert slots == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]
+        used_cpus = {cpu for _, cpu in slots}
+        assert 3 not in used_cpus
+
+    def test_reduced_capacity(self):
+        with pytest.raises(ValueError):
+            placement.leave_one_idle(spec(nnodes=2, cpus=2), 3)
+
+    def test_needs_multicpu_nodes(self):
+        with pytest.raises(ValueError):
+            placement.leave_one_idle(spec(nnodes=2, cpus=1), 1)
+
+
+class TestRoundRobin:
+    def test_cycles_nodes(self):
+        slots = placement.round_robin(spec(), 6)
+        assert slots == [(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1)]
+
+
+class TestExplicit:
+    def test_passthrough(self):
+        pairs = [(1, 0), (0, 1)]
+        policy = placement.explicit(pairs)
+        assert policy(spec(), 2) == pairs
+
+    def test_wrong_length_rejected(self):
+        policy = placement.explicit([(0, 0)])
+        with pytest.raises(ValueError):
+            policy(spec(), 2)
+
+
+class TestFig3bLayouts:
+    """The three per-node layouts of Fig 3(b) fall out of the policies."""
+
+    def test_16ns_uses_all_cpus(self):
+        frost_like = make_testbox(nnodes=4, cpus_per_node=16)
+        slots = placement.block(frost_like, 32)
+        assert {n for n, _ in slots} == {0, 1}
+        assert len([s for s in slots if s[0] == 0]) == 16
+
+    def test_15ns_leaves_cpu_15_idle(self):
+        frost_like = make_testbox(nnodes=4, cpus_per_node=16)
+        slots = placement.leave_one_idle(frost_like, 30)
+        assert len([s for s in slots if s[0] == 0]) == 15
+        assert all(cpu < 15 for _, cpu in slots)
+
+    def test_15s_block_plus_stride_servers(self):
+        """block placement + stride-16 server selection = one server
+        per node occupying the node's first CPU."""
+        from repro.io import server_ranks
+
+        frost_like = make_testbox(nnodes=4, cpus_per_node=16)
+        slots = placement.block(frost_like, 64)
+        servers = server_ranks(64, 4)
+        server_slots = [slots[r] for r in servers]
+        assert server_slots == [(0, 0), (1, 0), (2, 0), (3, 0)]

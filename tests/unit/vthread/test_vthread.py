@@ -1,0 +1,126 @@
+"""Unit tests for virtual threads."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, Mutex
+from repro.vthread import VThread
+
+
+def test_thread_runs_concurrently_with_spawner():
+    env = Environment()
+    trace = []
+
+    def worker():
+        yield env.timeout(2)
+        trace.append(("worker", env.now))
+
+    def main():
+        VThread(env, worker())
+        yield env.timeout(1)
+        trace.append(("main", env.now))
+
+    env.process(main())
+    env.run()
+    assert trace == [("main", 1), ("worker", 2)]
+
+
+def test_join_returns_thread_value():
+    env = Environment()
+    out = []
+
+    def worker():
+        yield env.timeout(3)
+        return "finished"
+
+    def main():
+        t = VThread(env, worker())
+        value = yield from t.join()
+        out.append((value, env.now))
+
+    env.process(main())
+    env.run()
+    assert out == [("finished", 3)]
+
+
+def test_alive_flag():
+    env = Environment()
+    states = []
+
+    def worker():
+        yield env.timeout(5)
+
+    def main():
+        t = VThread(env, worker())
+        states.append(t.alive)
+        yield from t.join()
+        states.append(t.alive)
+
+    env.process(main())
+    env.run()
+    assert states == [True, False]
+
+
+def test_cancel_interrupts_thread():
+    env = Environment()
+    trace = []
+
+    def worker():
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            trace.append(("interrupted", exc.cause, env.now))
+
+    def main():
+        t = VThread(env, worker())
+        yield env.timeout(2)
+        t.cancel("shutdown")
+        yield from t.join()
+
+    env.process(main())
+    env.run()
+    assert trace == [("interrupted", "shutdown", 2)]
+
+
+def test_cancel_dead_thread_is_noop():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1)
+
+    def main():
+        t = VThread(env, worker())
+        yield from t.join()
+        t.cancel()  # must not raise
+
+    env.process(main())
+    env.run()
+
+
+def test_thread_shares_mutex_with_main():
+    env = Environment()
+    order = []
+
+    def worker(mutex):
+        yield mutex.acquire()
+        order.append(("worker-acquired", env.now))
+        yield env.timeout(4)
+        mutex.release()
+
+    def main():
+        mutex = Mutex(env)
+        yield mutex.acquire()
+        VThread(env, worker(mutex))
+        yield env.timeout(3)
+        mutex.release()
+        order.append(("main-released", env.now))
+        yield mutex.acquire()
+        order.append(("main-reacquired", env.now))
+        mutex.release()
+
+    env.process(main())
+    env.run()
+    assert order == [
+        ("main-released", 3),
+        ("worker-acquired", 3),
+        ("main-reacquired", 7),
+    ]
