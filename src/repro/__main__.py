@@ -7,9 +7,12 @@ Runs the paper's experiments and demos without going through pytest:
 * ``fig3b``   — Fig 3(b) (Frost SMP layout comparison)
 * ``ablations`` — the A1–A6 design-choice studies
 * ``demo``    — a quick GENx run with a timing breakdown
+* ``trace``   — per-rank I/O timeline + overlap ratios (repro.obs)
 
 ``--quick`` shrinks everything for a fast smoke pass; ``--out DIR``
-also writes the rendered tables to files.
+also writes the rendered tables (and, where a command produces one,
+the aggregated instrumentation payload as ``BENCH_<name>.json``) to
+files.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import os
 import sys
 
 
-def _emit(args, name: str, text: str) -> None:
+def _emit(args, name: str, text: str, payload=None) -> None:
     print(text)
     print()
     if args.out:
@@ -28,6 +31,11 @@ def _emit(args, name: str, text: str) -> None:
         with open(path, "w") as fh:
             fh.write(text + "\n")
         print(f"[saved to {path}]")
+        if payload is not None:
+            from .bench import write_bench_json
+
+            jpath = write_bench_json(args.out, os.path.splitext(name)[0], payload)
+            print(f"[saved to {jpath}]")
 
 
 def cmd_table1(args) -> None:
@@ -118,6 +126,7 @@ def cmd_demo(args) -> None:
     from .bench import render_table
     from .cluster import Machine, turing
     from .genx import GENxConfig, lab_scale_motor, run_genx
+    from .obs import overlap_ratio, summary_payload
 
     scale = 0.02 if args.quick else 0.1
     workload = lab_scale_motor(
@@ -125,6 +134,7 @@ def cmd_demo(args) -> None:
         steps=40, snapshot_interval=10,
     )
     rows = []
+    instrumentation = {}
     for mode, nservers in (("rochdf", 0), ("trochdf", 0), ("rocpanda", 2)):
         machine = Machine(turing(), seed=args.seed)
         nprocs = 16 + nservers
@@ -133,15 +143,71 @@ def cmd_demo(args) -> None:
             GENxConfig(workload=workload, io_mode=mode, nservers=nservers,
                        prefix=f"demo_{mode}"),
         )
+        instrumentation[mode] = summary_payload(result.recorder)
         rows.append([
             mode, result.computation_time, result.visible_io_time,
+            overlap_ratio(result.recorder.io_records, module=mode),
             result.files_created,
         ])
     _emit(args, "demo.txt", render_table(
-        ["I/O service", "computation (s)", "visible I/O (s)", "files"],
+        ["I/O service", "computation (s)", "visible I/O (s)", "overlap", "files"],
         rows,
         title="GENx demo: 16 compute processors on simulated Turing",
+    ), payload={"modes": instrumentation})
+
+
+def cmd_trace(args) -> None:
+    from .bench import render_table
+    from .cluster import Machine, turing
+    from .genx import GENxConfig, lab_scale_motor, run_genx
+    from .obs import overlap_ratio, render_timeline, summary_payload
+
+    modes = (
+        ["rochdf", "trochdf", "rocpanda"]
+        if args.scenario == "all"
+        else [args.scenario]
+    )
+    workload = lab_scale_motor(
+        scale=0.02, nblocks_fluid=8, nblocks_solid=4,
+        steps=8, snapshot_interval=4,
+    )
+    sections = []
+    rows = []
+    payloads = {}
+    for mode in modes:
+        nservers = 1 if mode == "rocpanda" else 0
+        machine = Machine(turing(), seed=args.seed)
+        result = run_genx(
+            machine, 4 + nservers,
+            GENxConfig(workload=workload, io_mode=mode, nservers=nservers,
+                       prefix=f"trace_{mode}"),
+        )
+        recorder = result.recorder
+        # Module-level records only: the per-dataset "shdf" stream is
+        # too chatty for a terminal timeline (it stays in the JSON).
+        module_records = [r for r in recorder.io_records if r.module != "shdf"]
+        sections.append(f"=== {mode} ===")
+        sections.append(
+            render_timeline(module_records, limit_per_rank=args.limit)
+        )
+        payload = summary_payload(recorder)
+        payloads[mode] = payload
+        mod = payload["modules"].get(mode, {})
+        rows.append([
+            mode,
+            mod.get("visible_write_time", 0.0),
+            mod.get("background_time", 0.0),
+            overlap_ratio(recorder.io_records, module=mode),
+            payload["comm"]["messages_sent"],
+            payload["comm"]["bytes_sent"],
+        ])
+    sections.append(render_table(
+        ["service", "visible write (s)", "background (s)", "overlap",
+         "messages", "bytes on wire"],
+        rows,
+        title="Instrumentation summary (overlap = background / (background + visible write))",
     ))
+    _emit(args, "trace.txt", "\n".join(sections), payload={"scenarios": payloads})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,6 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         p.set_defaults(func=fn)
+    trace = sub.add_parser(
+        "trace", help="per-rank I/O timeline and overlap ratios"
+    )
+    trace.add_argument(
+        "scenario", nargs="?", default="all",
+        choices=("all", "rochdf", "trochdf", "rocpanda"),
+        help="which I/O service to trace (default: all three)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=12,
+        help="max records shown per rank (default 12)",
+    )
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

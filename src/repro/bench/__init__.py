@@ -11,7 +11,12 @@ from .ablations import (
 from .experiment import bench_runs, bench_scale, repeat_runs, summarize
 from .fig3a import Fig3aResult, run_fig3a
 from .fig3b import Fig3bResult, run_fig3b
-from .report import render_series, render_table
+from .report import (
+    render_instrumentation,
+    render_series,
+    render_table,
+    write_bench_json,
+)
 from .table1 import Table1Result, run_table1
 
 __all__ = [
@@ -29,6 +34,8 @@ __all__ = [
     "run_load_balancing_ablation",
     "render_table",
     "render_series",
+    "render_instrumentation",
+    "write_bench_json",
     "repeat_runs",
     "summarize",
     "bench_scale",

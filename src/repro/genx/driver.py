@@ -103,6 +103,8 @@ class GENxRunResult:
     servers: List[ServerReport]
     wall_time: float
     machine: Machine
+    #: The job's instrumentation stream (see :mod:`repro.obs`).
+    recorder: Any = None
 
     @property
     def computation_time(self) -> float:
@@ -268,5 +270,9 @@ def run_genx(
     if not clients:
         raise RuntimeError("run produced no client reports")
     return GENxRunResult(
-        clients=clients, servers=servers, wall_time=job.wall_time, machine=machine
+        clients=clients,
+        servers=servers,
+        wall_time=job.wall_time,
+        machine=machine,
+        recorder=job.recorder,
     )

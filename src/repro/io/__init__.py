@@ -18,6 +18,7 @@ from .base import (
 from .rochdf import RochdfModule, list_snapshot_files, snapshot_file_path
 from .rocpanda import (
     PandaServer,
+    ProtocolError,
     RocpandaModule,
     ServerConfig,
     ServerStats,
@@ -43,6 +44,7 @@ __all__ = [
     "list_snapshot_files",
     "RocpandaModule",
     "PandaServer",
+    "ProtocolError",
     "ServerConfig",
     "ServerStats",
     "Topology",

@@ -74,19 +74,27 @@ class RochdfModule(ServiceModule):
         """
         ctx = self.ctx
         t0 = ctx.now
+        nbytes = 0
         blocks = collect_blocks(self.com, window_name, attr_names)
         file_path = snapshot_file_path(path, ctx.rank)
-        writer = SHDFWriter(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+        writer = SHDFWriter(
+            ctx.env, ctx.fs, file_path, self.driver, node=ctx.node,
+            recorder=ctx.recorder, rank=ctx.rank,
+        )
         yield from writer.open(file_attrs=dict(file_attrs or {}, writer_rank=ctx.rank))
         for block in blocks:
             for dataset in block_to_datasets(block):
                 yield from writer.write_dataset(dataset)
                 self.stats.bytes_written += dataset.nbytes
+                nbytes += dataset.nbytes
             self.stats.blocks_written += 1
         yield from writer.close()
         self.stats.files_created += 1
         self.stats.snapshots += 1
         self.stats.visible_write_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "write_attribute", path=file_path, nbytes=nbytes, t_start=t0
+        )
         ctx.trace("rochdf", f"wrote {len(blocks)} blocks to {file_path}")
 
     def read_attribute(
@@ -103,6 +111,7 @@ class RochdfModule(ServiceModule):
         """
         ctx = self.ctx
         t0 = ctx.now
+        nbytes = 0
         window = self.com.window(window_name)
         wanted = set(window.pane_ids())
         files = list_snapshot_files(ctx.disk, path)
@@ -116,7 +125,10 @@ class RochdfModule(ServiceModule):
         for file_path in order:
             if not wanted:
                 break
-            reader = SHDFReader(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+            reader = SHDFReader(
+                ctx.env, ctx.fs, file_path, self.driver, node=ctx.node,
+                recorder=ctx.recorder, rank=ctx.rank,
+            )
             yield from reader.open()
             names = [
                 n
@@ -128,6 +140,7 @@ class RochdfModule(ServiceModule):
                 ds = yield from reader.read_dataset(name)
                 datasets.append(ds)
                 self.stats.bytes_read += ds.nbytes
+                nbytes += ds.nbytes
             yield from reader.close()
             for block in datasets_to_blocks(datasets):
                 if attr_names is not None:
@@ -147,12 +160,17 @@ class RochdfModule(ServiceModule):
                 f"in snapshot {path!r}"
             )
         self.stats.visible_read_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "read_attribute", path=path, nbytes=nbytes, t_start=t0
+        )
         ctx.trace("rochdf", f"restored {len(restored)} blocks from {path}")
         return sorted(restored)
 
     def sync(self):
         """Generator: no-op — non-threaded Rochdf writes are blocking."""
+        t0 = self.ctx.now
         yield self.ctx.env.timeout(0)
+        self.ctx.io_record(self.name, "sync", t_start=t0)
 
 
 def _block_of(dataset_name: str) -> int:

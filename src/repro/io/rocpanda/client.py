@@ -87,10 +87,16 @@ class RocpandaModule(ServiceModule):
                 name=f"panda-sender-r{self.ctx.rank}",
             )
 
-    def unload(self, com) -> None:
-        if self._sender is not None and self._sender.alive:
-            self._send_queue.put(None)  # shutdown token
-        self._sender = None
+    def unload(self, com):
+        """Generator: drain buffered sends, join the sender, tear down.
+
+        In client-buffering mode a plain teardown would drop
+        ``_pending_sends`` and leave the background sender running;
+        unload goes through the same drain-and-join path ``finalize``
+        uses so no buffered block is lost.  Drive with
+        ``yield from com.unload_module("rocpanda")``.
+        """
+        yield from self._shutdown_sender()
         self._deregister_io_window(com)
         self.com = None
 
@@ -131,6 +137,9 @@ class RocpandaModule(ServiceModule):
             yield from self._ship(path, window_name, blocks, dict(file_attrs or {}))
         self.stats.snapshots += 1
         self.stats.visible_write_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "write_attribute", path=path, nbytes=total, t_start=t0
+        )
         ctx.trace("rocpanda", f"shipped {len(blocks)} blocks ({total} B) for {path}")
 
     def _ship(self, path, window_name, blocks, file_attrs):
@@ -168,8 +177,13 @@ class RocpandaModule(ServiceModule):
             if job is None:
                 return
             path, window_name, blocks, file_attrs, done = job
+            t0 = self.ctx.now
             yield from self._ship(path, window_name, blocks, file_attrs)
             done.succeed()
+            self.ctx.io_record(
+                self.name, "bg_ship", path=path,
+                nbytes=sum(b.nbytes for b in blocks), t_start=t0, visible=False,
+            )
 
     def _drain_sends(self):
         """Generator: wait until all buffered sends reached the server."""
@@ -207,6 +221,7 @@ class RocpandaModule(ServiceModule):
             tag=TAG_CTRL,
         )
         restored: List[int] = []
+        nbytes = 0
         done = False
         while not done:
             msg, status = yield from world.recv(source=ANY_SOURCE, tag=TAG_REPLY)
@@ -216,6 +231,7 @@ class RocpandaModule(ServiceModule):
                 wanted.discard(msg.block.block_id)
                 self.stats.blocks_read += 1
                 self.stats.bytes_read += msg.block.nbytes
+                nbytes += msg.block.nbytes
             elif isinstance(msg, RestartDone):
                 done = True
             else:
@@ -226,6 +242,9 @@ class RocpandaModule(ServiceModule):
                 f"{sorted(wanted)}"
             )
         self.stats.visible_read_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "read_attribute", path=path, nbytes=nbytes, t_start=t0
+        )
         ctx.trace("rocpanda", f"restored {len(restored)} blocks from {path}")
         return sorted(restored)
 
@@ -239,16 +258,22 @@ class RocpandaModule(ServiceModule):
         if not isinstance(msg, SyncReply):
             raise TypeError(f"expected SyncReply, got {type(msg).__name__}")
         self.stats.sync_time += self.ctx.now - t0
+        self.ctx.io_record(self.name, "sync", t_start=t0)
+
+    def _shutdown_sender(self):
+        """Generator: drain pending sends and join the background sender."""
+        yield from self._drain_sends()
+        if self._sender is not None and self._sender.alive:
+            self._send_queue.put(None)  # shutdown token
+            yield from self._sender.join()
+        self._sender = None
 
     def finalize(self):
         """Generator: tell the server this client is done (call once)."""
         if self._finalized:
             return
         self._finalized = True
-        yield from self._drain_sends()
-        if self._sender is not None and self._sender.alive:
-            self._send_queue.put(None)
-            yield from self._sender.join()
+        yield from self._shutdown_sender()
         yield from self.topo.world.send(
             Shutdown(), dest=self.topo.my_server, tag=TAG_CTRL
         )

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..base import DataBlock
 
 __all__ = [
+    "ProtocolError",
     "TAG_CTRL",
     "TAG_BLOCK",
     "TAG_REPLY",
@@ -28,6 +29,16 @@ __all__ = [
     "RestartDone",
     "Shutdown",
 ]
+
+class ProtocolError(RuntimeError):
+    """A message arrived that violates the Rocpanda wire protocol.
+
+    Raised by the server when it receives e.g. a :class:`BlockEnvelope`
+    for a path no client has announced with :class:`WriteBegin` —
+    turning what used to be an obscure ``AttributeError`` deep in the
+    writer into an explicit, diagnosable failure.
+    """
+
 
 #: Tag for small control messages (client -> server).
 TAG_CTRL = 1

@@ -36,6 +36,7 @@ from .protocol import (
     TAG_CTRL,
     TAG_REPLY,
     BlockEnvelope,
+    ProtocolError,
     RestartBlock,
     RestartDone,
     RestartRequest,
@@ -192,6 +193,9 @@ class PandaServer:
                 file_path,
                 self.config.driver,
                 node=self.ctx.node,
+                recorder=self.ctx.recorder,
+                rank=self.ctx.rank,
+                visible=not self.config.active_buffering,
             )
             state.writer_attrs = dict(msg.file_attrs)
 
@@ -201,17 +205,32 @@ class PandaServer:
         nbytes = block.nbytes
         self.stats.blocks_received += 1
         self.stats.bytes_received += nbytes
+        t0 = self.ctx.now
         # Buffer-management / protocol bookkeeping per block.
         yield self.ctx.env.timeout(cfg.ingest_overhead)
-        state = self._paths.setdefault(msg.path, _PathState())
+        state = self._paths.get(msg.path)
+        if state is None or state.writer is None:
+            raise ProtocolError(
+                f"server rank {self.ctx.rank} received a data block from "
+                f"client {client} for path {msg.path!r} without a preceding "
+                f"WriteBegin"
+            )
         state.received += 1
         if not cfg.active_buffering:
+            self.ctx.io_record(
+                "rocpanda", "ingest", path=msg.path, nbytes=nbytes,
+                t_start=t0, visible=False,
+            )
             # Ablation: write through while the client waits.
             yield from self._write_block(msg.path, block)
             yield from self._close_finished_paths()
             return
         # Copy into the server's buffer hierarchy.
         yield self.ctx.env.timeout(nbytes / cfg.ingest_bw)
+        self.ctx.io_record(
+            "rocpanda", "ingest", path=msg.path, nbytes=nbytes,
+            t_start=t0, visible=False,
+        )
         if self._buffered_bytes + nbytes > cfg.buffer_bytes:
             # Graceful overflow: write previously buffered data out to
             # make room for incoming data (§6.1).
@@ -236,7 +255,7 @@ class PandaServer:
         cpu.server_busy_fraction = self.config.busy_fraction_writing
         t0 = self.ctx.now
         state = self._paths[path]
-        if state.writer._open is False and state.writer.ndatasets == 0:
+        if not state.writer.is_open and state.writer.ndatasets == 0:
             yield from state.writer.open(file_attrs=getattr(state, "writer_attrs", {}))
             self.stats.files_created += 1
         for dataset in block_to_datasets(block):
@@ -245,6 +264,10 @@ class PandaServer:
         state.written += 1
         self.stats.blocks_written += 1
         self.stats.background_write_time += self.ctx.now - t0
+        self.ctx.io_record(
+            "rocpanda", "bg_write", path=path, nbytes=block.nbytes,
+            t_start=t0, visible=not self.config.active_buffering,
+        )
         cpu.server_busy_fraction = self.config.busy_fraction_idle
 
     def _close_finished_paths(self, force: bool = False):
@@ -259,7 +282,7 @@ class PandaServer:
                 and state.written == all_expected
             )
             if complete or (force and state.opened):
-                if state.writer is not None and state.writer._open:
+                if state.writer is not None and state.writer.is_open:
                     yield from state.writer.close()
                 del self._paths[path]
 
@@ -312,12 +335,18 @@ class PandaServer:
             raise FileNotFoundError(f"no Rocpanda restart files with prefix {prefix!r}")
         my_files = files[self.server_index :: self.topo.nservers]
         sent = 0
+        t0 = ctx.now
+        scanned_bytes = 0
         for file_path in my_files:
-            reader = SHDFReader(ctx.env, ctx.fs, file_path, self.config.driver, node=ctx.node)
+            reader = SHDFReader(
+                ctx.env, ctx.fs, file_path, self.config.driver, node=ctx.node,
+                recorder=ctx.recorder, rank=ctx.rank,
+            )
             yield from reader.open()
             # Scan through the file, find requested data blocks, send
             # them to the appropriate clients (§4.1).
             datasets = yield from reader.read_all()
+            scanned_bytes += sum(d.nbytes for d in datasets)
             yield from reader.close()
             for block in datasets_to_blocks(
                 [d for d in datasets if d.name.startswith(window + "/")]
@@ -337,6 +366,10 @@ class PandaServer:
                 )
                 sent += 1
         self.stats.restart_blocks_sent += sent
+        ctx.io_record(
+            "rocpanda", "restart_scan", path=prefix, nbytes=scanned_bytes,
+            t_start=t0,
+        )
         # All servers finish scanning/sending before anyone reports done,
         # so a client never sees RestartDone before its last block.
         yield from server_comm.barrier()

@@ -61,6 +61,11 @@ class TRochdfModule(RochdfModule):
 
     # -- module lifecycle ----------------------------------------------------
     def load(self, com) -> None:
+        if self._thread is not None and self._thread.alive:
+            raise RuntimeError(
+                "trochdf reloaded while its previous I/O thread is still "
+                "running; drive unload with 'yield from com.unload_module(...)'"
+            )
         super().load(com)
         # The single persistent I/O thread (reduces thread switching
         # overhead and serializes competing write requests, §6.2).
@@ -68,12 +73,19 @@ class TRochdfModule(RochdfModule):
             self.ctx.env, self._io_thread_main(), name=f"trochdf-io-r{self.ctx.rank}"
         )
 
-    def unload(self, com) -> None:
-        # Drain outstanding writes before tearing down; unload must not
-        # lose buffered data.  Driven lazily: we push a shutdown token;
-        # the caller should have issued sync() from a process context.
-        if self._thread is not None and self._thread.alive:
+    def unload(self, com):
+        """Generator: drain buffered snapshots, join the I/O thread, tear down.
+
+        Unload must not lose buffered data: every pending write is
+        waited for and the thread is joined before the window goes
+        away, so a reload can never race a still-writing thread.
+        Drive with ``yield from com.unload_module("trochdf")``.
+        """
+        thread = self._thread
+        if thread is not None and thread.alive:
             self._queue.put(_SHUTDOWN)
+            yield from self._drain()
+            yield from thread.join()
         self._thread = None
         super().unload(com)
 
@@ -127,6 +139,9 @@ class TRochdfModule(RochdfModule):
         )
         self.stats.snapshots += 1
         self.stats.visible_write_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "write_attribute", path=path, nbytes=total, t_start=t0
+        )
         ctx.trace("trochdf", f"buffered {len(blocks)} blocks ({total} B) for {path}")
 
     def sync(self):
@@ -134,6 +149,7 @@ class TRochdfModule(RochdfModule):
         t0 = self.ctx.now
         yield from self._drain()
         self.stats.sync_time += self.ctx.now - t0
+        self.ctx.io_record(self.name, "sync", t_start=t0)
 
     # -- internals ---------------------------------------------------------------
     def _drain(self):
@@ -149,8 +165,13 @@ class TRochdfModule(RochdfModule):
             job = yield self._queue.get()
             if job is _SHUTDOWN:
                 return
+            t0 = ctx.now
+            nbytes = 0
             file_path = snapshot_file_path(job.path, ctx.rank)
-            writer = SHDFWriter(ctx.env, ctx.fs, file_path, self.driver, node=ctx.node)
+            writer = SHDFWriter(
+                ctx.env, ctx.fs, file_path, self.driver, node=ctx.node,
+                recorder=ctx.recorder, rank=ctx.rank, visible=False,
+            )
             yield from writer.open(
                 file_attrs=dict(job.file_attrs, writer_rank=ctx.rank)
             )
@@ -158,8 +179,13 @@ class TRochdfModule(RochdfModule):
                 for dataset in block_to_datasets(block):
                     yield from writer.write_dataset(dataset)
                     self.stats.bytes_written += dataset.nbytes
+                    nbytes += dataset.nbytes
                 self.stats.blocks_written += 1
             yield from writer.close()
             self.stats.files_created += 1
             job.done.succeed()
+            ctx.io_record(
+                self.name, "bg_write", path=file_path, nbytes=nbytes,
+                t_start=t0, visible=False,
+            )
             ctx.trace("trochdf", f"background write of {file_path} complete")

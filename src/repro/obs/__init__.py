@@ -1,0 +1,47 @@
+"""Structured I/O instrumentation (Darshan-style observability).
+
+Per-rank, per-operation I/O records emitted by the I/O service modules
+and the SHDF file layer; message counters from the virtual MPI; span
+timers on the DES clock; aggregation into per-module/per-phase rollups
+with the overlap ratio; JSON/CSV exporters and timeline rendering.
+"""
+
+from .aggregate import (
+    ModuleRollup,
+    OpRollup,
+    aggregate,
+    overlap_ratio,
+    phase_of,
+    phase_rollup,
+    records_by_rank,
+)
+from .export import (
+    records_to_csv,
+    records_to_dicts,
+    render_timeline,
+    summary_payload,
+    to_json,
+    write_json,
+)
+from .records import CommCounters, IORecord, IOSpan, Recorder, TraceRecord
+
+__all__ = [
+    "IORecord",
+    "TraceRecord",
+    "CommCounters",
+    "Recorder",
+    "IOSpan",
+    "OpRollup",
+    "ModuleRollup",
+    "aggregate",
+    "overlap_ratio",
+    "phase_of",
+    "phase_rollup",
+    "records_by_rank",
+    "records_to_dicts",
+    "records_to_csv",
+    "summary_payload",
+    "to_json",
+    "write_json",
+    "render_timeline",
+]

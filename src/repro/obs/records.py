@@ -1,0 +1,256 @@
+"""Darshan-style structured I/O instrumentation records.
+
+The paper's argument is about *where time goes*: visible write cost on
+the compute ranks vs background write-behind on Panda servers and
+T-Rochdf threads (§6.1–§7.1).  This module provides the per-rank,
+per-operation record layer that makes those claims inspectable:
+
+* :class:`IORecord` — one timed I/O operation (module, op, path, bytes,
+  ``t_start``/``t_end`` on the DES clock, rank, visibility);
+* :class:`TraceRecord` — a free-form event message (the legacy
+  :class:`repro.util.trace.Tracer` stream, kept for compatibility);
+* :class:`CommCounters` — message counters and bytes-on-wire totals fed
+  by the :class:`repro.vmpi.comm.Comm` hooks;
+* :class:`Recorder` — the per-job sink all of the above land in;
+* :class:`IOSpan` — a span-style timer driven off the DES clock (never
+  wall-clock), usable as a context manager inside DES generators.
+
+A record is *visible* when its duration was spent inside a blocking
+interface call on the caller's critical path (``write_attribute``,
+``read_attribute``, ``sync``), and *background* when the time was
+hidden behind computation (T-Rochdf's I/O thread, Rocpanda's
+write-behind servers and background senders).  The ratio of the two is
+the overlap metric computed in :mod:`repro.obs.aggregate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "IORecord",
+    "TraceRecord",
+    "CommCounters",
+    "Recorder",
+    "IOSpan",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A free-form traced event (legacy ``Tracer`` message stream)."""
+
+    time: float
+    category: str
+    rank: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] r{self.rank:<4d} {self.category:<12s} {self.message}"
+
+
+@dataclass(frozen=True)
+class IORecord:
+    """One timed I/O operation on one rank (Darshan-style)."""
+
+    #: Which subsystem produced the record ("rochdf", "trochdf",
+    #: "rocpanda", "shdf", ...).
+    module: str
+    #: Operation kind ("write_attribute", "bg_write", "ingest",
+    #: "open", "write_dataset", ...).
+    op: str
+    rank: int
+    path: str = ""
+    nbytes: int = 0
+    t_start: float = 0.0
+    t_end: float = 0.0
+    #: True when the duration sat on the caller's critical path; False
+    #: for background (overlapped) work.
+    visible: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def __str__(self) -> str:
+        kind = "visible" if self.visible else "background"
+        where = f" {self.path}" if self.path else ""
+        return (
+            f"[{self.t_start:12.6f} .. {self.t_end:12.6f}] r{self.rank:<4d} "
+            f"{self.module:<10s} {self.op:<16s} {self.nbytes:>12d} B "
+            f"({kind}){where}"
+        )
+
+
+@dataclass
+class CommCounters:
+    """Message counters and bytes on the wire (fed from ``Comm``)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    eager_messages: int = 0
+    rendezvous_messages: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    #: Global sender rank -> messages / payload bytes originated there.
+    sent_by_rank: Dict[int, int] = field(default_factory=dict)
+    bytes_by_rank: Dict[int, int] = field(default_factory=dict)
+
+    def count_send(self, src: int, dst: int, nbytes: int, eager: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if eager:
+            self.eager_messages += 1
+        else:
+            self.rendezvous_messages += 1
+        self.sent_by_rank[src] = self.sent_by_rank.get(src, 0) + 1
+        self.bytes_by_rank[src] = self.bytes_by_rank.get(src, 0) + nbytes
+
+    def count_recv(self, dst: int, nbytes: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += nbytes
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary of the counters."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "eager_messages": self.eager_messages,
+            "rendezvous_messages": self.rendezvous_messages,
+            "messages_received": self.messages_received,
+            "bytes_received": self.bytes_received,
+            "sent_by_rank": dict(sorted(self.sent_by_rank.items())),
+            "bytes_by_rank": dict(sorted(self.bytes_by_rank.items())),
+        }
+
+
+class IOSpan:
+    """Span-style timer on the DES clock.
+
+    Usable as a context manager *inside* a DES generator — the clock
+    advances while the generator is suspended, so enter/exit timestamps
+    bracket the operation's virtual duration::
+
+        with ctx.io_span("rochdf", "write_attribute", path=p) as span:
+            ...  # yields happen here
+            span.nbytes = total
+    """
+
+    __slots__ = ("recorder", "env", "module", "op", "rank", "path", "nbytes", "visible", "t_start")
+
+    def __init__(self, recorder, env, module, op, rank, path="", nbytes=0, visible=True):
+        self.recorder = recorder
+        self.env = env
+        self.module = module
+        self.op = op
+        self.rank = rank
+        self.path = path
+        self.nbytes = nbytes
+        self.visible = visible
+        self.t_start = None
+
+    def __enter__(self) -> "IOSpan":
+        self.t_start = self.env.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.recorder.record_io(
+                self.module,
+                self.op,
+                self.rank,
+                path=self.path,
+                nbytes=self.nbytes,
+                t_start=self.t_start,
+                t_end=self.env.now,
+                visible=self.visible,
+            )
+        return False
+
+
+class Recorder:
+    """Per-job sink for I/O records, trace events, and comm counters.
+
+    Cheap when disabled; when enabled (the default) every record is a
+    small frozen dataclass appended to a list, so jobs can always be
+    inspected after the fact.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.io_records: List[IORecord] = []
+        #: Legacy free-form event stream (what ``Tracer`` shims onto).
+        self.events: List[TraceRecord] = []
+        self.comm = CommCounters()
+
+    # -- I/O records ----------------------------------------------------
+    def record_io(
+        self,
+        module: str,
+        op: str,
+        rank: int,
+        *,
+        path: str = "",
+        nbytes: int = 0,
+        t_start: float = 0.0,
+        t_end: float = 0.0,
+        visible: bool = True,
+    ) -> None:
+        """Append one :class:`IORecord` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.io_records.append(
+            IORecord(
+                module=module,
+                op=op,
+                rank=rank,
+                path=path,
+                nbytes=int(nbytes),
+                t_start=t_start,
+                t_end=t_end,
+                visible=visible,
+            )
+        )
+
+    def span(
+        self,
+        env,
+        module: str,
+        op: str,
+        rank: int,
+        *,
+        path: str = "",
+        nbytes: int = 0,
+        visible: bool = True,
+    ) -> IOSpan:
+        """A DES-clock :class:`IOSpan` that records itself on exit."""
+        return IOSpan(self, env, module, op, rank, path=path, nbytes=nbytes, visible=visible)
+
+    # -- legacy trace events --------------------------------------------
+    def log_event(self, time: float, category: str, rank: int, message: str) -> None:
+        """Append one legacy :class:`TraceRecord` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceRecord(time, category, rank, message))
+
+    # -- comm hooks ------------------------------------------------------
+    def count_send(self, src: int, dst: int, nbytes: int, eager: bool) -> None:
+        """Count one message leaving ``src`` (called by ``Comm.send``)."""
+        if self.enabled:
+            self.comm.count_send(src, dst, nbytes, eager)
+
+    def count_recv(self, dst: int, nbytes: int) -> None:
+        """Count one message consumed at ``dst`` (called by ``Comm.recv``)."""
+        if self.enabled:
+            self.comm.count_recv(dst, nbytes)
+
+    # -- views -----------------------------------------------------------
+    def by_rank(self, rank: int) -> List[IORecord]:
+        return [r for r in self.io_records if r.rank == rank]
+
+    def by_module(self, module: str) -> List[IORecord]:
+        return [r for r in self.io_records if r.module == module]
+
+    def __len__(self) -> int:
+        return len(self.io_records)

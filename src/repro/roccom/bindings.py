@@ -116,6 +116,10 @@ def COM_load_module(module, *args, **kwargs):
     return COM_get_com().load_module(module, *args, **kwargs)
 
 
-def COM_unload_module(name: str) -> None:
-    """Unload a service module by name."""
-    COM_get_com().unload_module(f90_string(name))
+def COM_unload_module(name: str):
+    """Unload a service module by name.
+
+    Returns the iterator from :meth:`Roccom.unload_module`; drive it
+    with ``yield from`` when the module's teardown blocks on I/O.
+    """
+    return COM_get_com().unload_module(f90_string(name))

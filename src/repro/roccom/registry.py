@@ -117,12 +117,25 @@ class Roccom:
         self._modules[name] = module
         return module
 
-    def unload_module(self, name: str) -> None:
+    def unload_module(self, name: str):
+        """Unload a service module; returns an iterator to drive it.
+
+        Modules whose ``unload`` must wait on simulated time (drain
+        buffered I/O, join a background thread) implement it as a
+        generator; plain modules tear down eagerly.  Call sites inside
+        a rank process should uniformly write
+        ``yield from com.unload_module(name)`` — for an eager module
+        the returned iterator is empty and yields nothing.  The module
+        is removed from the registry immediately in both cases.
+        """
         try:
             module = self._modules.pop(name)
         except KeyError:
             raise KeyError(f"module {name!r} is not loaded") from None
-        module.unload(self)
+        result = module.unload(self)
+        if inspect.isgenerator(result):
+            return result
+        return iter(())
 
     def loaded_modules(self) -> List[str]:
         return sorted(self._modules)

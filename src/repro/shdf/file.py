@@ -42,12 +42,21 @@ class SHDFWriter:
         driver: Optional[HDFDriver] = None,
         node=None,
         format_version: Optional[int] = None,
+        recorder=None,
+        rank: int = -1,
+        visible: bool = True,
     ):
         self.env = env
         self.fs = fs
         self.path = path
         self.driver = driver if driver is not None else hdf4_driver()
         self.node = node
+        #: Optional repro.obs.Recorder emitting per-dataset records;
+        #: ``visible=False`` marks this writer's time as background
+        #: (write-behind) rather than caller-visible.
+        self._recorder = recorder
+        self._rank = rank
+        self._visible = visible
         # Log-growth drivers (HDF5-like) default to the indexed v2
         # on-disk format; linear ones to the scan-based v1.
         if format_version is None:
@@ -65,6 +74,24 @@ class SHDFWriter:
     @property
     def ndatasets(self) -> int:
         return self._ndatasets
+
+    @property
+    def is_open(self) -> bool:
+        """True between a successful ``open`` and the matching ``close``."""
+        return self._open
+
+    def _record(self, op: str, nbytes: int, t_start: float) -> None:
+        if self._recorder is not None:
+            self._recorder.record_io(
+                "shdf",
+                op,
+                self._rank,
+                path=self.path,
+                nbytes=nbytes,
+                t_start=t_start,
+                t_end=self.env.now,
+                visible=self._visible,
+            )
 
     def open(self, file_attrs: Optional[Dict[str, Any]] = None):
         """Generator: create the file and write its header."""
@@ -84,6 +111,7 @@ class SHDFWriter:
         self._vfile.append(header)
         self._open = True
         self.busy_time += self.env.now - t0
+        self._record("open", len(header), t0)
 
     def write_dataset(self, dataset: Dataset):
         """Generator: append one dataset (driver + filesystem costs)."""
@@ -102,6 +130,7 @@ class SHDFWriter:
         self._entries.append((dataset.name, offset, len(record)))
         self._ndatasets += 1
         self.busy_time += self.env.now - t0
+        self._record("write_dataset", dataset.nbytes, t0)
 
     def close(self):
         """Generator: close the file.
@@ -128,6 +157,7 @@ class SHDFWriter:
         yield from self.fs.meta_op(self.node)
         self._open = False
         self.busy_time += self.env.now - t0
+        self._record("close", 0, t0)
 
 
 class SHDFReader:
@@ -140,13 +170,37 @@ class SHDFReader:
         path: str,
         driver: Optional[HDFDriver] = None,
         node=None,
+        recorder=None,
+        rank: int = -1,
+        visible: bool = True,
     ):
         self.env = env
         self.fs = fs
         self.path = path
         self.driver = driver if driver is not None else hdf4_driver()
         self.node = node
+        self._recorder = recorder
+        self._rank = rank
+        self._visible = visible
         self._image: Optional[FileImage] = None
+
+    @property
+    def is_open(self) -> bool:
+        """True between a successful ``open`` and the matching ``close``."""
+        return self._image is not None
+
+    def _record(self, op: str, nbytes: int, t_start: float) -> None:
+        if self._recorder is not None:
+            self._recorder.record_io(
+                "shdf",
+                op,
+                self._rank,
+                path=self.path,
+                nbytes=nbytes,
+                t_start=t_start,
+                t_end=self.env.now,
+                visible=self._visible,
+            )
 
     def open(self):
         """Generator: open the file and parse its structure.
@@ -158,6 +212,7 @@ class SHDFReader:
         yield from self.fs.meta_op(self.node)
         buf = self.fs.disk.open(self.path).read()
         self._image = decode_file(buf)
+        self._record("open", 0, t0)
         return self._image.attrs
 
     @property
@@ -177,6 +232,7 @@ class SHDFReader:
     def read_dataset(self, name: str):
         """Generator: locate and read one dataset; returns :class:`Dataset`."""
         self._require_open()
+        t0 = self.env.now
         dataset = self._image.get(name)
         yield self.env.timeout(self.driver.lookup_cost(len(self._image)))
         for _ in range(self.driver.fs_meta_ops_per_dataset):
@@ -184,6 +240,7 @@ class SHDFReader:
         yield from self.fs.read(
             dataset.nbytes + self.driver.meta_bytes_per_dataset, self.node
         )
+        self._record("read_dataset", dataset.nbytes, t0)
         return dataset
 
     def read_all(self):
@@ -203,8 +260,10 @@ class SHDFReader:
     def close(self):
         """Generator: close the file."""
         self._require_open()
+        t0 = self.env.now
         yield from self.fs.meta_op(self.node)
         self._image = None
+        self._record("close", 0, t0)
 
     def _require_open(self):
         if self._image is None:

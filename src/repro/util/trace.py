@@ -1,39 +1,45 @@
-"""Structured event tracing for simulations.
+"""Structured event tracing for simulations (compatibility shim).
 
 A :class:`Tracer` collects ``(time, category, rank, message)`` records.
 It is cheap when disabled (the default) and lets tests and examples
 inspect exactly what the I/O libraries did and when.
+
+Since the introduction of :mod:`repro.obs`, the tracer is a thin shim
+over an :class:`repro.obs.Recorder`'s event stream: every job owns one
+recorder holding both the legacy free-form events and the structured
+per-operation :class:`~repro.obs.IORecord` stream, so old call sites
+(``tracer.log``/``tracer.records``) keep working unchanged while new
+code reads ``tracer.recorder``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Optional
+
+from ..obs.records import Recorder, TraceRecord
 
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    time: float
-    category: str
-    rank: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.time:12.6f}] r{self.rank:<4d} {self.category:<12s} {self.message}"
-
-
 class Tracer:
-    """Collects trace records; disabled tracers drop records for free."""
+    """Collects trace records; disabled tracers drop records for free.
 
-    def __init__(self, enabled: bool = False):
+    ``recorder`` is the backing :class:`~repro.obs.Recorder`; a private
+    one is created when none is given, so a standalone tracer behaves
+    exactly as before.
+    """
+
+    def __init__(self, enabled: bool = False, recorder: Optional[Recorder] = None):
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self.recorder = recorder if recorder is not None else Recorder()
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self.recorder.events
 
     def log(self, time: float, category: str, rank: int, message: str) -> None:
         if self.enabled:
-            self.records.append(TraceRecord(time, category, rank, message))
+            self.recorder.log_event(time, category, rank, message)
 
     def by_category(self, category: str) -> List[TraceRecord]:
         return [r for r in self.records if r.category == category]

@@ -118,6 +118,12 @@ class Comm:
             mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
             seq=self._send_seq,
         )
+        recorder = getattr(self.job, "recorder", None)
+        if recorder is not None:
+            recorder.count_send(
+                self.global_rank(), self.group[dest], nbytes,
+                eager=envelope.mode == MODE_EAGER,
+            )
         yield env.timeout(network.spec.sw_overhead)
         if envelope.mode == MODE_EAGER:
             # Buffered: payload travels on its own; send returns now.
@@ -147,6 +153,9 @@ class Comm:
             yield from network.control_message(dst_node, src_node)
             yield from network.transfer(src_node, dst_node, envelope.nbytes)
             envelope.done_event.succeed()
+        recorder = getattr(self.job, "recorder", None)
+        if recorder is not None:
+            recorder.count_recv(self.global_rank(), envelope.nbytes)
         yield env.timeout(network.spec.sw_overhead)
         return envelope.payload, envelope.status()
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..cluster.machine import Machine
 from ..cluster.node import ROLE_COMPUTE, ROLE_SERVER
 from ..des import Environment, SimulationError
+from ..obs.records import IOSpan, Recorder
 from ..util.trace import Tracer
 from .comm import Comm
 from .mailbox import Mailbox
@@ -64,6 +65,10 @@ class RankContext:
         return self.job.tracer
 
     @property
+    def recorder(self) -> Recorder:
+        return self.job.recorder
+
+    @property
     def now(self) -> float:
         return self.job.env.now
 
@@ -101,6 +106,42 @@ class RankContext:
     def trace(self, category: str, message: str) -> None:
         self.job.tracer.log(self.env.now, category, self.rank, message)
 
+    def io_record(
+        self,
+        module: str,
+        op: str,
+        *,
+        path: str = "",
+        nbytes: int = 0,
+        t_start: float,
+        visible: bool = True,
+    ) -> None:
+        """Emit one instrumentation record ending now (see :mod:`repro.obs`)."""
+        self.job.recorder.record_io(
+            module,
+            op,
+            self.rank,
+            path=path,
+            nbytes=nbytes,
+            t_start=t_start,
+            t_end=self.env.now,
+            visible=visible,
+        )
+
+    def io_span(
+        self,
+        module: str,
+        op: str,
+        *,
+        path: str = "",
+        nbytes: int = 0,
+        visible: bool = True,
+    ) -> IOSpan:
+        """A DES-clock span timer that records itself on exit."""
+        return self.job.recorder.span(
+            self.env, module, op, self.rank, path=path, nbytes=nbytes, visible=visible
+        )
+
     def __repr__(self) -> str:
         return f"<RankContext rank={self.rank} node={self.node.index} cpu={self.cpu.index}>"
 
@@ -117,6 +158,8 @@ class JobResult:
     compute_times: List[float]
     machine: Machine = None
     tracer: Tracer = None
+    #: The job's instrumentation stream (see :mod:`repro.obs`).
+    recorder: Recorder = None
 
     @property
     def max_compute_time(self) -> float:
@@ -143,6 +186,9 @@ class Job:
         self.env = machine.env
         self.nprocs = nprocs
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Instrumentation stream shared with the tracer shim: one
+        #: recorder per job collects I/O records and comm counters.
+        self.recorder = self.tracer.recorder
         self.memcpy_bw = (
             memcpy_bw
             if memcpy_bw
@@ -209,6 +255,7 @@ class Job:
             compute_times=[ctx.compute_time for ctx in self.contexts],
             machine=self.machine,
             tracer=self.tracer,
+            recorder=self.recorder,
         )
 
 

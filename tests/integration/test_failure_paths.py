@@ -62,6 +62,34 @@ class TestServerRobustness:
         with pytest.raises(TypeError, match="unexpected message"):
             launch(2, main)
 
+    def test_block_without_write_begin_is_protocol_error(self):
+        """A data block for an unannounced path must raise ProtocolError,
+        not an AttributeError from deep inside the writer."""
+        from repro.io import ProtocolError
+        from repro.io.base import DataBlock
+        from repro.io.rocpanda.protocol import TAG_BLOCK, BlockEnvelope
+
+        def main(ctx):
+            topo = yield from rocpanda_init(ctx, 1)
+            if topo.is_server:
+                yield from PandaServer(ctx, topo).run()
+                return
+            rogue = DataBlock(
+                window="W", block_id=0, nnodes=0, nelems=4,
+                arrays={"f": np.zeros(4)}, specs={},
+            )
+            yield from topo.world.send(
+                BlockEnvelope("never_begun", rogue),
+                dest=topo.my_server,
+                tag=TAG_BLOCK,
+            )
+            com = Roccom(ctx)
+            panda = com.load_module(RocpandaModule(ctx, topo))
+            yield from panda.finalize()
+
+        with pytest.raises(ProtocolError, match="WriteBegin"):
+            launch(2, main)
+
     def test_restart_of_missing_prefix_fails(self):
         def main(ctx):
             topo = yield from rocpanda_init(ctx, 1)

@@ -42,8 +42,7 @@ class TestTRochdfThreadLifecycle:
             mod = com.load_module(TRochdfModule(ctx))
             thread = mod._thread
             yield from com.call_function("OUT.sync")
-            com.unload_module("trochdf")
-            yield from ctx.sleep(0.1)  # let the shutdown token drain
+            yield from com.unload_module("trochdf")
             return thread.alive
 
         result, _ = launch(1, main)

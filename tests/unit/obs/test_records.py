@@ -1,0 +1,232 @@
+"""Unit tests for the instrumentation layer (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.des import Environment
+from repro.io import RochdfModule
+from repro.obs import (
+    IORecord,
+    Recorder,
+    aggregate,
+    overlap_ratio,
+    phase_of,
+    phase_rollup,
+    records_by_rank,
+    records_to_csv,
+    render_timeline,
+    summary_payload,
+    to_json,
+)
+from repro.roccom import AttributeSpec, LOC_ELEMENT, Roccom
+from repro.util import Tracer
+from repro.vmpi import run_spmd
+
+
+def rec(module="m", op="write_attribute", rank=0, nbytes=10,
+        t_start=0.0, t_end=1.0, visible=True, path=""):
+    return IORecord(module=module, op=op, rank=rank, path=path, nbytes=nbytes,
+                    t_start=t_start, t_end=t_end, visible=visible)
+
+
+class TestRecorder:
+    def test_record_io_appends(self):
+        r = Recorder()
+        r.record_io("m", "op", 3, nbytes=7, t_start=1.0, t_end=2.5)
+        assert len(r) == 1
+        record = r.io_records[0]
+        assert record.rank == 3
+        assert record.duration == pytest.approx(1.5)
+
+    def test_disabled_recorder_is_inert(self):
+        r = Recorder(enabled=False)
+        r.record_io("m", "op", 0, t_start=0.0, t_end=1.0)
+        r.log_event(0.0, "c", 0, "msg")
+        r.count_send(0, 1, 100, eager=True)
+        r.count_recv(1, 100)
+        assert len(r) == 0
+        assert not r.events
+        assert r.comm.messages_sent == 0
+
+    def test_views(self):
+        r = Recorder()
+        r.record_io("a", "op", 0, t_start=0, t_end=1)
+        r.record_io("b", "op", 1, t_start=0, t_end=1)
+        assert len(r.by_rank(0)) == 1
+        assert len(r.by_module("b")) == 1
+
+
+class TestIOSpan:
+    def test_span_brackets_virtual_time(self):
+        env = Environment()
+        r = Recorder()
+
+        def proc():
+            with r.span(env, "m", "op", 0, path="p") as span:
+                yield env.timeout(2.0)
+                span.nbytes = 42
+
+        env.process(proc())
+        env.run()
+        assert len(r) == 1
+        record = r.io_records[0]
+        assert record.t_start == pytest.approx(0.0)
+        assert record.t_end == pytest.approx(2.0)
+        assert record.nbytes == 42
+
+    def test_span_skips_record_on_exception(self):
+        env = Environment()
+        r = Recorder()
+        with pytest.raises(ValueError):
+            with r.span(env, "m", "op", 0):
+                raise ValueError("boom")
+        assert len(r) == 0
+
+
+class TestAggregate:
+    def test_visible_background_split(self):
+        records = [
+            rec(op="write_attribute", t_end=1.0, visible=True),
+            rec(op="bg_write", t_end=3.0, visible=False),
+            rec(op="sync", t_end=0.5, visible=True),
+            rec(op="read_attribute", t_end=2.0, visible=True),
+        ]
+        rollup = aggregate(records)["m"]
+        assert rollup.visible_time == pytest.approx(3.5)
+        assert rollup.background_time == pytest.approx(3.0)
+        # sync and reads are excluded from the visible *write* path.
+        assert rollup.visible_write_time == pytest.approx(1.0)
+        assert rollup.overlap_ratio == pytest.approx(3.0 / 4.0)
+        assert rollup.ops["bg_write"].count == 1
+
+    def test_overlap_ratio_zero_without_background(self):
+        records = [rec(op="write_attribute", t_end=1.0)]
+        assert overlap_ratio(records) == 0.0
+        assert overlap_ratio([]) == 0.0
+
+    def test_overlap_ratio_module_filter(self):
+        records = [
+            rec(module="a", op="bg_write", t_end=1.0, visible=False),
+            rec(module="b", op="write_attribute", t_end=1.0),
+        ]
+        assert overlap_ratio(records, module="a") == 1.0
+        assert overlap_ratio(records, module="b") == 0.0
+
+    def test_phases(self):
+        assert phase_of(rec(op="bg_write", visible=False)) == "write-behind"
+        assert phase_of(rec(op="read_attribute")) == "restart"
+        assert phase_of(rec(op="sync")) == "sync"
+        assert phase_of(rec(op="write_attribute")) == "output"
+        phases = phase_rollup([rec(op="sync", t_end=0.5)])
+        assert phases["m"]["sync"] == pytest.approx(0.5)
+
+    def test_records_by_rank_sorted(self):
+        records = [
+            rec(rank=1, t_start=5.0, t_end=6.0),
+            rec(rank=1, t_start=1.0, t_end=2.0),
+            rec(rank=0, t_start=0.0, t_end=1.0),
+        ]
+        grouped = records_by_rank(records)
+        assert sorted(grouped) == [0, 1]
+        assert [r.t_start for r in grouped[1]] == [1.0, 5.0]
+
+
+class TestExport:
+    def test_csv_round(self):
+        text = records_to_csv([rec(path="f.shdf")])
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("module,op,rank,path")
+        assert "f.shdf" in lines[1]
+
+    def test_summary_payload_and_json(self):
+        r = Recorder()
+        r.record_io("m", "write_attribute", 0, nbytes=10, t_start=0, t_end=1)
+        r.record_io("m", "bg_write", 0, nbytes=10, t_start=1, t_end=2,
+                    visible=False)
+        r.count_send(0, 1, 64, eager=True)
+        payload = summary_payload(r)
+        assert payload["nrecords"] == 2
+        assert payload["modules"]["m"]["overlap_ratio"] == pytest.approx(0.5)
+        assert payload["comm"]["messages_sent"] == 1
+        assert "records" not in payload
+        parsed = json.loads(to_json(r, include_records=True))
+        assert len(parsed["records"]) == 2
+
+    def test_render_timeline(self):
+        records = [rec(rank=0, path="a"), rec(rank=2, path="b"),
+                   rec(rank=2, t_start=1.0, t_end=2.0)]
+        text = render_timeline(records, limit_per_rank=1)
+        assert "rank 0:" in text
+        assert "rank 2:" in text
+        assert "1 more record(s)" in text
+        only = render_timeline(records, ranks=[0])
+        assert "rank 2:" not in only
+
+
+class TestTracerShim:
+    def test_tracer_shares_recorder(self):
+        tracer = Tracer(enabled=True)
+        tracer.log(1.0, "cat", 0, "hello")
+        assert len(tracer.records) == 1
+        assert tracer.recorder.events is tracer.records
+
+    def test_external_recorder(self):
+        r = Recorder()
+        tracer = Tracer(enabled=True, recorder=r)
+        tracer.log(0.0, "c", 1, "m")
+        assert len(r.events) == 1
+
+
+class TestEndToEndRecordStream:
+    def _run_rochdf(self, nblocks=1, cells=500):
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(RochdfModule(ctx))
+            w = com.new_window("W")
+            w.declare_attribute(AttributeSpec("f", LOC_ELEMENT))
+            rng = np.random.default_rng(0)
+            for i in range(nblocks):
+                w.register_pane(i, 0, cells)
+                w.set_array("f", i, rng.random(cells))
+            yield from com.call_function("OUT.write_attribute", "W", None, "e2e")
+
+        machine = Machine(make_testbox(), seed=0)
+        return run_spmd(machine, 1, main)
+
+    def test_write_attribute_record_sequence(self):
+        result = self._run_rochdf()
+        records = result.recorder.io_records
+        ops = [(r.module, r.op) for r in records]
+        # One file open, the datasets, the close, then the module-level
+        # record for the whole interface call.
+        assert ops[0] == ("shdf", "open")
+        assert ops[-1] == ("rochdf", "write_attribute")
+        assert ops[-2] == ("shdf", "close")
+        assert ("shdf", "write_dataset") in ops
+        top = records[-1]
+        assert top.visible
+        assert top.nbytes > 0
+        # The module record spans all the file-layer records.
+        assert top.t_start <= records[0].t_start
+        assert top.t_end >= records[-2].t_end
+        # Plain Rochdf hides nothing.
+        assert overlap_ratio(records, module="rochdf") == 0.0
+
+    def test_comm_counters_from_job(self):
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.world.send(b"x" * 1000, dest=1)
+            else:
+                yield from ctx.world.recv(source=0)
+
+        machine = Machine(make_testbox(), seed=0)
+        result = run_spmd(machine, 2, main)
+        comm = result.recorder.comm
+        assert comm.messages_sent == 1
+        assert comm.messages_received == 1
+        assert comm.bytes_sent == comm.bytes_received == 1000
+        assert comm.sent_by_rank == {0: 1}

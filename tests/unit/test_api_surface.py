@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.rocketeer",
     "repro.bench",
     "repro.util",
+    "repro.obs",
 ]
 
 

@@ -1,5 +1,6 @@
 """Unit tests for the ``python -m repro`` command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -14,9 +15,17 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table1", "fig3a", "fig3b", "ablations", "demo"):
+        for cmd in ("table1", "fig3a", "fig3b", "ablations", "demo", "trace"):
             args = parser.parse_args([cmd])
             assert callable(args.func)
+
+    def test_trace_scenario_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace", "rocpanda"])
+        assert args.scenario == "rocpanda"
+        assert parser.parse_args(["trace"]).scenario == "all"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["trace", "nosuch"])
 
     def test_flags(self):
         args = build_parser().parse_args(
@@ -42,3 +51,21 @@ class TestDemoCommand:
         saved = os.path.join(str(tmp_path), "demo.txt")
         assert os.path.exists(saved)
         assert "rochdf" in open(saved).read()
+        payload = json.load(open(os.path.join(str(tmp_path), "BENCH_demo.json")))
+        assert set(payload["modes"]) == {"rochdf", "trochdf", "rocpanda"}
+        for mode in payload["modes"]:
+            assert payload["modes"][mode]["modules"][mode]["nrecords"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_single_scenario(self, tmp_path, capsys):
+        rc = main(["--out", str(tmp_path), "trace", "trochdf"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rank 0:" in out
+        assert "write_attribute" in out
+        assert "Instrumentation summary" in out
+        payload = json.load(open(os.path.join(str(tmp_path), "BENCH_trace.json")))
+        trochdf = payload["scenarios"]["trochdf"]["modules"]["trochdf"]
+        assert trochdf["overlap_ratio"] > 0.5
+        assert payload["scenarios"]["trochdf"]["comm"]["messages_sent"] > 0
