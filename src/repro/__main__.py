@@ -156,6 +156,21 @@ def cmd_demo(args) -> None:
     ), payload={"modes": instrumentation})
 
 
+def cmd_perfbench(args) -> None:
+    from .bench.perf import (
+        DEFAULT_BASELINE_PATH,
+        load_baseline,
+        render_perf,
+        run_perfbench,
+    )
+
+    baseline = load_baseline(args.baseline or DEFAULT_BASELINE_PATH)
+    payload = run_perfbench(
+        quick=args.quick, baseline=baseline, skip_e2e=args.skip_e2e
+    )
+    _emit(args, "perf.txt", render_perf(payload), payload=payload)
+
+
 def cmd_trace(args) -> None:
     from .bench import render_table
     from .cluster import Machine, turing
@@ -235,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         p.set_defaults(func=fn)
+    perf = sub.add_parser(
+        "perfbench",
+        help="wall-clock microbenchmarks of the simulator's hot paths",
+    )
+    perf.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline BENCH_perf JSON to compare against "
+             "(default: bench_results/BENCH_perf_baseline.json)",
+    )
+    perf.add_argument(
+        "--skip-e2e", action="store_true",
+        help="skip the end-to-end table1(64p) wall-clock run",
+    )
+    perf.set_defaults(func=cmd_perfbench)
     trace = sub.add_parser(
         "trace", help="per-rank I/O timeline and overlap ratios"
     )

@@ -11,6 +11,17 @@ from .ablations import (
 from .experiment import bench_runs, bench_scale, repeat_runs, summarize
 from .fig3a import Fig3aResult, run_fig3a
 from .fig3b import Fig3bResult, run_fig3b
+from .perf import (
+    bench_codec,
+    bench_des_events,
+    bench_mailbox_backlog,
+    bench_mailbox_waiters,
+    bench_table1_e2e,
+    bench_vmpi_msgrate,
+    load_baseline,
+    render_perf,
+    run_perfbench,
+)
 from .report import (
     render_instrumentation,
     render_series,
@@ -40,4 +51,13 @@ __all__ = [
     "summarize",
     "bench_scale",
     "bench_runs",
+    "run_perfbench",
+    "render_perf",
+    "load_baseline",
+    "bench_des_events",
+    "bench_mailbox_backlog",
+    "bench_mailbox_waiters",
+    "bench_vmpi_msgrate",
+    "bench_codec",
+    "bench_table1_e2e",
 ]

@@ -1,0 +1,369 @@
+"""Wall-clock microbenchmark harness for the simulator's hot paths.
+
+Everything else in :mod:`repro.bench` measures *virtual* time — what the
+simulated Turing/Frost machines would have spent.  This module measures
+*wall-clock* time: how fast the simulator itself chews through events,
+messages, and bytes.  That number caps how large a scenario we can
+afford to simulate (the Fig 3a sweep at 480 processors runs millions of
+DES events), so it is tracked PR-over-PR as ``BENCH_perf.json``.
+
+Benchmarks:
+
+* ``des_events`` — DES kernel event throughput (timeout alloc +
+  schedule + heap pop + generator resume per event);
+* ``mailbox_backlog`` / ``mailbox_waiters`` — vmpi matching throughput
+  against a deep backlog / a deep selective-waiter list, for both the
+  production matcher and the reference linear-scan matcher;
+* ``vmpi_msgrate`` — end-to-end message rate through the full
+  ``Comm.send``/``recv`` stack (fan-in with source-selective receives,
+  the Rocpanda server pattern), again for both matchers;
+* ``codec_encode`` / ``codec_decode`` / ``codec_decode_zero_copy`` —
+  SHDF codec bandwidth in MB/s;
+* ``table1_64p`` — one end-to-end wall-clock run of the Table 1
+  experiment at 64 compute processors (the acceptance workload).
+
+``run_perfbench`` executes the suite and, when a baseline payload is
+supplied (normally the committed ``BENCH_perf_baseline.json`` captured
+before the matching/DES/codec optimizations), attaches per-benchmark
+speedup factors so the before/after comparison ships with the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "bench_des_events",
+    "bench_mailbox_backlog",
+    "bench_mailbox_waiters",
+    "bench_vmpi_msgrate",
+    "bench_codec",
+    "bench_table1_e2e",
+    "run_perfbench",
+    "load_baseline",
+    "DEFAULT_BASELINE_PATH",
+]
+
+#: Committed pre-optimization numbers this harness compares against.
+DEFAULT_BASELINE_PATH = os.path.join("bench_results", "BENCH_perf_baseline.json")
+
+
+def _timed(fn: Callable[[], int]) -> Dict[str, float]:
+    """Run ``fn`` (returns an op count) and report ops/sec."""
+    t0 = time.perf_counter()
+    ops = fn()
+    seconds = time.perf_counter() - t0
+    return {
+        "ops": int(ops),
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(ops / seconds, 2) if seconds > 0 else float("inf"),
+    }
+
+
+# -- DES kernel -------------------------------------------------------------
+
+def bench_des_events(nevents: int = 200_000) -> Dict[str, float]:
+    """Timeout-chain throughput: one alloc/schedule/pop/resume per event."""
+    from ..des import Environment
+
+    env = Environment()
+
+    def ticker():
+        timeout = env.timeout
+        for _ in range(nevents):
+            yield timeout(1.0)
+
+    env.process(ticker(), name="ticker")
+
+    def run() -> int:
+        env.run()
+        return nevents
+
+    return _timed(run)
+
+
+# -- vmpi matching ----------------------------------------------------------
+
+def _make_envelope(src: int, tag: int, seq: int):
+    from ..vmpi.datatypes import Envelope
+
+    return Envelope(
+        comm_id=0, src=src, dst=0, tag=tag,
+        payload=None, nbytes=64, mode="eager", seq=seq,
+    )
+
+
+def _resolve_mailbox(mailbox: str):
+    from ..vmpi import mailbox as mb
+
+    if mailbox == "reference":
+        return getattr(mb, "LinearScanMailbox", mb.Mailbox)
+    return mb.Mailbox
+
+
+def bench_mailbox_backlog(
+    nsources: int = 64, rounds: int = 60, mailbox: str = "indexed"
+) -> Dict[str, float]:
+    """Deliver a full backlog, then take source-selectively in reverse.
+
+    A linear matcher scans (and ``del``-shifts) deep into the arrival
+    list for every take; an indexed matcher pops per-key deques.
+    """
+    from ..des import Environment
+
+    cls = _resolve_mailbox(mailbox)
+    env = Environment()
+    box = cls(env)
+
+    def run() -> int:
+        seq = 0
+        for r in range(rounds):
+            for s in range(nsources):
+                seq += 1
+                box.deliver(_make_envelope(s, r, seq))
+            for s in reversed(range(nsources)):
+                assert box.take(s, r) is not None
+        return rounds * nsources
+
+    return _timed(run)
+
+
+def bench_mailbox_waiters(
+    nsources: int = 64, rounds: int = 60, mailbox: str = "indexed"
+) -> Dict[str, float]:
+    """Post selective waiters, then deliver in worst-case order.
+
+    Exercises the waiter-rescan loop: every delivery re-examines the
+    pending waiter list (O(waiters x items) in the reference matcher).
+    """
+    from ..des import Environment
+
+    cls = _resolve_mailbox(mailbox)
+    env = Environment()
+    box = cls(env)
+
+    def run() -> int:
+        for r in range(rounds):
+            events = [box.get_matching(s, r) for s in range(nsources)]
+            for s in reversed(range(nsources)):
+                box.deliver(_make_envelope(s, r, s + 1))
+            env.run()
+            assert all(e.triggered for e in events)
+        return rounds * nsources
+
+    return _timed(run)
+
+
+def bench_vmpi_msgrate(
+    nranks: int = 32, nmsgs: int = 40, mailbox: str = "indexed"
+) -> Dict[str, float]:
+    """Fan-in message rate through the full Comm stack.
+
+    ``nranks - 1`` senders stream eager messages at rank 0, which
+    receives source-selectively from the highest rank down — the
+    Rocpanda server pattern (probe/receive specific clients while a
+    backlog of other clients' requests is pending).
+    """
+    from ..cluster import Machine, testbox
+    from ..vmpi.launcher import Job
+
+    cls = _resolve_mailbox(mailbox)
+    machine = Machine(testbox(nnodes=8, cpus_per_node=8), seed=0)
+    total = (nranks - 1) * nmsgs
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for m in range(nmsgs):
+                for src in range(ctx.world.size - 1, 0, -1):
+                    yield from ctx.world.recv(source=src, tag=m)
+        else:
+            payload = b"x" * 64
+            for m in range(nmsgs):
+                yield from ctx.world.send(payload, dest=0, tag=m)
+
+    job = Job(machine, nranks, mailbox_factory=cls)
+
+    def run() -> int:
+        job.run(main)
+        return total
+
+    return _timed(run)
+
+
+# -- SHDF codec -------------------------------------------------------------
+
+def _codec_image(ndatasets: int = 16, nbytes_each: int = 1 << 20):
+    from ..shdf.model import Dataset, FileImage
+
+    rng = np.random.default_rng(7)
+    image = FileImage({"run": "perfbench", "step": 0})
+    n = nbytes_each // 8
+    for i in range(ndatasets):
+        data = rng.standard_normal(n)
+        image.add(Dataset(f"win/b{i:04d}/field", data, {"ncomp": 1, "unit": "Pa"}))
+    return image
+
+
+def bench_codec(
+    ndatasets: int = 16, nbytes_each: int = 1 << 20, repeats: int = 8
+) -> Dict[str, Dict[str, float]]:
+    """SHDF encode/decode bandwidth (MB/s) over a multi-dataset image."""
+    from ..shdf.codec import decode_file, encode_file
+    import inspect
+
+    image = _codec_image(ndatasets, nbytes_each)
+    buf = bytes(encode_file(image))
+    total_mb = len(buf) / (1024 * 1024)
+
+    def report(fn) -> Dict[str, float]:
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        seconds = time.perf_counter() - t0
+        return {
+            "mbytes": round(total_mb, 3),
+            "repeats": repeats,
+            "seconds": round(seconds, 6),
+            "mb_per_sec": round(total_mb * repeats / seconds, 2),
+        }
+
+    out = {"encode": report(lambda: encode_file(image))}
+    out["decode"] = report(lambda: decode_file(buf))
+    # Zero-copy decode exists only after the codec optimization; report
+    # it when available so baselines from older trees still load.
+    if "copy" in inspect.signature(decode_file).parameters:
+        out["decode_zero_copy"] = report(lambda: decode_file(buf, copy=False))
+    return out
+
+
+# -- end-to-end -------------------------------------------------------------
+
+def bench_table1_e2e(quick: bool = False) -> Dict[str, Any]:
+    """One wall-clock run of the Table 1 matrix at 64 compute procs.
+
+    Also reports the *virtual-time* results so before/after payloads
+    prove the optimizations left simulated behaviour bit-identical.
+    """
+    from .table1 import run_table1
+
+    scale = 0.05 if quick else 0.25
+    steps = 40 if quick else 200
+    snapshot_interval = 10 if quick else 50
+    t0 = time.perf_counter()
+    result = run_table1(
+        proc_counts=(64,), nruns=1, scale=scale,
+        steps=steps, snapshot_interval=snapshot_interval,
+    )
+    seconds = time.perf_counter() - t0
+    virtual = {
+        metric: result.value(metric, 64) for metric in sorted(result.measured)
+    }
+    return {
+        "nprocs": 64,
+        "scale": scale,
+        "steps": steps,
+        "wall_seconds": round(seconds, 3),
+        "virtual_seconds": virtual,
+    }
+
+
+# -- suite ------------------------------------------------------------------
+
+def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Optional[Dict]:
+    """Load a committed baseline payload, or None when absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _speedup(after: Optional[Dict], before: Optional[Dict], key: str) -> Optional[float]:
+    try:
+        a, b = after[key], before[key]
+    except (TypeError, KeyError):
+        return None
+    if not a or not b:
+        return None
+    return round(a / b, 3) if key.endswith("_per_sec") else round(b / a, 3)
+
+
+def run_perfbench(
+    quick: bool = False,
+    baseline: Optional[Dict] = None,
+    skip_e2e: bool = False,
+) -> Dict[str, Any]:
+    """Run the full suite; returns the ``BENCH_perf.json`` payload."""
+    if quick:
+        sizes = dict(nevents=20_000, nsources=32, rounds=10, nranks=16,
+                     nmsgs=10, ndatasets=4, repeats=3)
+    else:
+        sizes = dict(nevents=200_000, nsources=64, rounds=60, nranks=32,
+                     nmsgs=40, ndatasets=16, repeats=8)
+
+    micro: Dict[str, Any] = {}
+    micro["des_events"] = bench_des_events(sizes["nevents"])
+    for impl in ("indexed", "reference"):
+        micro[f"mailbox_backlog_{impl}"] = bench_mailbox_backlog(
+            sizes["nsources"], sizes["rounds"], mailbox=impl)
+        micro[f"mailbox_waiters_{impl}"] = bench_mailbox_waiters(
+            sizes["nsources"], sizes["rounds"], mailbox=impl)
+        micro[f"vmpi_msgrate_{impl}"] = bench_vmpi_msgrate(
+            sizes["nranks"], sizes["nmsgs"], mailbox=impl)
+    codec = bench_codec(ndatasets=sizes["ndatasets"], repeats=sizes["repeats"])
+    for name, numbers in codec.items():
+        micro[f"codec_{name}"] = numbers
+
+    payload: Dict[str, Any] = {
+        "schema": "perfbench-v1",
+        "quick": quick,
+        "sizes": sizes,
+        "micro": micro,
+    }
+    if not skip_e2e:
+        payload["e2e"] = {"table1_64p": bench_table1_e2e(quick=quick)}
+
+    if baseline is not None:
+        speedups: Dict[str, Any] = {}
+        base_micro = baseline.get("micro", {})
+        for name, numbers in micro.items():
+            s = _speedup(numbers, base_micro.get(name), "ops_per_sec")
+            if s is None:
+                s = _speedup(numbers, base_micro.get(name), "mb_per_sec")
+            if s is not None:
+                speedups[name] = s
+        base_e2e = baseline.get("e2e", {}).get("table1_64p")
+        if not skip_e2e and base_e2e:
+            s = _speedup(payload["e2e"]["table1_64p"], base_e2e, "wall_seconds")
+            if s is not None:
+                speedups["table1_64p_wall"] = s
+        payload["baseline"] = baseline
+        payload["speedup_vs_baseline"] = speedups
+    return payload
+
+
+def render_perf(payload: Dict[str, Any]) -> str:
+    """Plain-text table of the suite's numbers (and speedups if present)."""
+    from .report import render_table
+
+    speedups = payload.get("speedup_vs_baseline", {})
+    rows = []
+    for name, numbers in payload["micro"].items():
+        rate = numbers.get("ops_per_sec") or numbers.get("mb_per_sec")
+        unit = "ops/s" if "ops_per_sec" in numbers else "MB/s"
+        rows.append([name, rate, unit, numbers["seconds"], speedups.get(name)])
+    e2e = payload.get("e2e", {}).get("table1_64p")
+    if e2e:
+        rows.append([
+            "table1_64p (e2e)", e2e["wall_seconds"], "s wall", e2e["wall_seconds"],
+            speedups.get("table1_64p_wall"),
+        ])
+    return render_table(
+        ["benchmark", "rate", "unit", "seconds", "speedup vs baseline"],
+        rows,
+        title="perfbench — simulator wall-clock hot paths",
+    )

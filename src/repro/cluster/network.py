@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..des import Environment, Resource
+from ..des import Environment, Event, Resource
 from ..util.units import MB, USEC
 from .node import Node
 
@@ -102,6 +102,44 @@ class Network:
             yield self.env.timeout(duration)
         finally:
             nic.release(req)
+
+    def schedule_transfer(self, src: Node, dst: Node, nbytes: int, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`transfer`: ``callback()`` runs when the
+        payload lands.
+
+        Virtual timing (including NIC queueing) is identical to
+        ``transfer``; the difference is purely mechanical — the flight is
+        chained through event callbacks instead of occupying a dedicated
+        generator process, which matters because one of these runs per
+        eager message.
+        """
+        load = max(src.external_load, dst.external_load)
+        duration = self.transfer_time(src, dst, nbytes) * load
+        self.messages += 1
+        self.bytes_transferred += nbytes
+        env = self.env
+
+        def _fly(_event) -> None:
+            done = Event(env)
+            done._ok = True
+            done._value = None
+            done.callbacks.append(_land)
+            env.schedule(done, delay=duration)
+
+        if src.index == dst.index:
+            def _land(_event) -> None:
+                callback()
+
+            _fly(None)
+            return
+        nic = self._nics[dst.index]
+        req = nic.request()
+
+        def _land(_event) -> None:
+            nic.release(req)
+            callback()
+
+        req.callbacks.append(_fly)
 
     def control_message(self, src: Node, dst: Node):
         """Generator: a zero-payload control message (handshake leg).

@@ -13,7 +13,7 @@ produce identical traces.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -36,6 +36,8 @@ NORMAL = 1
 #: Sentinel for "event has no value yet".
 _PENDING = object()
 
+_INF = float("inf")
+
 
 class Event:
     """An event that may happen at some point in simulated time.
@@ -44,6 +46,11 @@ class Event:
     scheduled with a value (or an exception), and *processed* after its
     callbacks have run.  Processes wait for events by yielding them.
     """
+
+    # One Event (and usually several) is allocated per message, timeout
+    # and process across millions of simulated events, so the whole
+    # hierarchy is slotted.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "__weakref__")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -102,6 +109,8 @@ class Event:
 
         Useful as a callback to chain events.
         """
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
         self.env.schedule(self)
@@ -124,9 +133,15 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` units of simulated time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        if delay != delay or delay == _INF:
+            # NaN compares unequal to itself; NaN/inf delays would
+            # poison the heap ordering of every later event.
+            raise ValueError(f"non-finite delay {delay}")
         super().__init__(env)
         self._delay = delay
         self._ok = True
@@ -139,6 +154,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a new :class:`Process`."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -154,6 +171,8 @@ class Process(Event):
     The process object is itself an event that fires (with the
     generator's return value) when the generator terminates.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -294,7 +313,7 @@ class Environment:
     # -- scheduling ----------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to fire after ``delay`` time units."""
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
@@ -308,7 +327,7 @@ class Environment:
         Raises :class:`EmptySchedule` if no events are left.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -347,9 +366,27 @@ class Environment:
                 stop.callbacks.append(_stop_simulation)
                 self.schedule(stop, priority=URGENT, delay=at - self._now)
 
+        # Inlined step() with the queue bound locally: this loop
+        # executes once per simulated event (millions per sweep), and
+        # the per-iteration attribute/call overhead of delegating to
+        # step() is measurable.  Keep the two bodies in sync.
+        queue = self._queue
         try:
             while True:
-                self.step()
+                try:
+                    self._now, _, _, event = heappop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:
+                    continue  # already processed (condition shortcut)
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failed event nobody waited on: crash the
+                    # simulation so errors in detached processes are
+                    # never silently dropped.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:

@@ -55,6 +55,8 @@ class Condition(Event):
     Fails immediately if any constituent event fails.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(self, env, evaluate: Callable, events: List[Event]):
         super().__init__(env)
         self._evaluate = evaluate
@@ -107,12 +109,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when *all* of ``events`` have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when *any* of ``events`` has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, Condition.any_event, events)

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """A free-form traced event (legacy ``Tracer`` message stream)."""
 
@@ -50,9 +50,13 @@ class TraceRecord:
         return f"[{self.time:12.6f}] r{self.rank:<4d} {self.category:<12s} {self.message}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IORecord:
-    """One timed I/O operation on one rank (Darshan-style)."""
+    """One timed I/O operation on one rank (Darshan-style).
+
+    Allocated once per traced operation on every rank, so it is slotted
+    like the DES event hierarchy.
+    """
 
     #: Which subsystem produced the record ("rochdf", "trochdf",
     #: "rocpanda", "shdf", ...).

@@ -13,12 +13,25 @@ All integers little-endian.  Records are written sequentially, so a
 file can be *appended to* without rewriting (this mirrors HDF4's
 linearly-growing file directory: finding a dataset requires a scan,
 which is what the HDF4 timing driver charges for).
+
+Hot-path notes: the codec sits on the simulator's wall-clock critical
+path (every snapshot of every rank round-trips through it), so
+
+* encoding accumulates into a single :class:`bytearray` per record
+  instead of joining many small ``bytes`` (array payloads are appended
+  straight from the array's buffer, skipping the ``tobytes`` copy);
+* decoding reads through one :class:`memoryview` with precompiled
+  :class:`struct.Struct` instances, and by default returns **read-only
+  zero-copy views** of the input buffer (``np.frombuffer``).  Callers
+  that mutate decoded arrays in place — the restart path installs them
+  into Roccom windows where physics kernels update them — must pass
+  ``copy=True``.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, Tuple
 
 import numpy as np
 
@@ -50,6 +63,19 @@ _TAG_LIST = 7
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
 
+# Precompiled fixed-width codecs (struct.pack/unpack with a format
+# string re-parses the format on every call).
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_TAG_INT_S = struct.Struct("<Bq")
+_TAG_FLOAT_S = struct.Struct("<Bd")
+_TAG_STR_S = struct.Struct("<BI")
+#: Shape packers for the common ranks; higher ranks fall back to pack().
+_DIMS = {n: struct.Struct(f"<{n}Q") for n in range(1, 9)}
+
 
 class CodecError(ValueError):
     """Raised on malformed SHDF bytes or unencodable values."""
@@ -61,83 +87,137 @@ def _pack_str16(s: str) -> bytes:
     raw = s.encode("utf-8")
     if len(raw) > 0xFFFF:
         raise CodecError(f"string too long ({len(raw)} bytes)")
-    return struct.pack("<H", len(raw)) + raw
+    return _U16.pack(len(raw)) + raw
+
+
+def _append_str16(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long ({len(raw)} bytes)")
+    out += _U16.pack(len(raw))
+    out += raw
+
+
+def _append_array_data(out: bytearray, arr: np.ndarray) -> None:
+    """Append an array's raw bytes without an intermediate copy."""
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    if arr.ndim:
+        out += arr.reshape(-1).view(np.uint8).data
+    else:
+        out += arr.tobytes()  # 0-d: scalar buffer, itemsize bytes
 
 
 class _Reader:
-    def __init__(self, buf: bytes, pos: int = 0):
+    """Cursor over an immutable buffer; slices are zero-copy views."""
+
+    __slots__ = ("buf", "pos", "_mv", "_len")
+
+    def __init__(self, buf, pos: int = 0):
         self.buf = buf
         self.pos = pos
+        self._mv = memoryview(buf)
+        self._len = len(buf)
 
-    def take(self, n: int) -> bytes:
-        if self.pos + n > len(self.buf):
+    def take(self, n: int) -> memoryview:
+        pos = self.pos
+        if pos + n > self._len:
             raise CodecError("truncated SHDF data")
-        out = self.buf[self.pos : self.pos + n]
-        self.pos += n
-        return out
+        self.pos = pos + n
+        return self._mv[pos : pos + n]
 
     def u8(self) -> int:
-        return self.take(1)[0]
+        pos = self.pos
+        if pos >= self._len:
+            raise CodecError("truncated SHDF data")
+        self.pos = pos + 1
+        return self._mv[pos]
+
+    def _unpack(self, codec: struct.Struct) -> Any:
+        pos = self.pos
+        end = pos + codec.size
+        if end > self._len:
+            raise CodecError("truncated SHDF data")
+        self.pos = end
+        return codec.unpack_from(self._mv, pos)[0]
 
     def u16(self) -> int:
-        return struct.unpack("<H", self.take(2))[0]
+        return self._unpack(_U16)
 
     def u32(self) -> int:
-        return struct.unpack("<I", self.take(4))[0]
+        return self._unpack(_U32)
 
     def u64(self) -> int:
-        return struct.unpack("<Q", self.take(8))[0]
+        return self._unpack(_U64)
 
     def i64(self) -> int:
-        return struct.unpack("<q", self.take(8))[0]
+        return self._unpack(_I64)
 
     def f64(self) -> float:
-        return struct.unpack("<d", self.take(8))[0]
+        return self._unpack(_F64)
 
     def str16(self) -> str:
         n = self.u16()
-        return self.take(n).decode("utf-8")
+        return str(self.take(n), "utf-8")
 
     @property
     def exhausted(self) -> bool:
-        return self.pos >= len(self.buf)
+        return self.pos >= self._len
 
 
-def _encode_value(value: Any, out: List[bytes]) -> None:
+def _frombuffer(raw: memoryview, dtype: np.dtype, shape: tuple, copy: bool) -> np.ndarray:
+    """Array over ``raw``: a read-only view, or a private copy."""
+    data = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    if copy:
+        return data.copy()
+    # frombuffer inherits writability from the buffer (a bytearray
+    # would yield a writable alias); pin views read-only so mutation
+    # attempts fail loudly instead of corrupting the file image.
+    data.flags.writeable = False
+    return data
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
     if value is None:
-        out.append(bytes([_TAG_NONE]))
+        out.append(_TAG_NONE)
     elif isinstance(value, (bool, np.bool_)):
-        out.append(bytes([_TAG_BOOL, 1 if value else 0]))
+        out += b"\x01\x01" if value else b"\x01\x00"
     elif isinstance(value, (int, np.integer)):
         iv = int(value)
         if not _I64_MIN <= iv <= _I64_MAX:
             raise CodecError(f"integer attribute out of i64 range: {iv}")
-        out.append(bytes([_TAG_INT]) + struct.pack("<q", iv))
+        out += _TAG_INT_S.pack(_TAG_INT, iv)
     elif isinstance(value, (float, np.floating)):
-        out.append(bytes([_TAG_FLOAT]) + struct.pack("<d", float(value)))
+        out += _TAG_FLOAT_S.pack(_TAG_FLOAT, float(value))
     elif isinstance(value, str):
         raw = value.encode("utf-8")
-        out.append(bytes([_TAG_STR]) + struct.pack("<I", len(raw)) + raw)
+        out += _TAG_STR_S.pack(_TAG_STR, len(raw))
+        out += raw
     elif isinstance(value, (bytes, bytearray)):
-        out.append(bytes([_TAG_BYTES]) + struct.pack("<I", len(value)) + bytes(value))
+        out += _TAG_STR_S.pack(_TAG_BYTES, len(value))
+        out += value
     elif isinstance(value, np.ndarray):
         if value.dtype == object:
             raise CodecError("object-dtype attribute arrays are not storable")
         arr = np.asarray(value, order="C")  # keeps 0-d shape intact
-        out.append(bytes([_TAG_NDARRAY]))
-        out.append(_pack_str16(arr.dtype.str))
-        out.append(bytes([arr.ndim]))
-        out.append(struct.pack(f"<{arr.ndim}Q", *arr.shape) if arr.ndim else b"")
-        out.append(arr.tobytes())
+        out.append(_TAG_NDARRAY)
+        _append_str16(out, arr.dtype.str)
+        out.append(arr.ndim)
+        if arr.ndim:
+            dims = _DIMS.get(arr.ndim)
+            out += dims.pack(*arr.shape) if dims else struct.pack(
+                f"<{arr.ndim}Q", *arr.shape
+            )
+        _append_array_data(out, arr)
     elif isinstance(value, (list, tuple)):
-        out.append(bytes([_TAG_LIST]) + struct.pack("<I", len(value)))
+        out += _TAG_STR_S.pack(_TAG_LIST, len(value))
         for item in value:
             _encode_value(item, out)
     else:
         raise CodecError(f"unencodable attribute value: {type(value).__name__}")
 
 
-def _decode_value(reader: _Reader) -> Any:
+def _decode_value(reader: _Reader, copy: bool = True) -> Any:
     tag = reader.u8()
     if tag == _TAG_NONE:
         return None
@@ -149,37 +229,42 @@ def _decode_value(reader: _Reader) -> Any:
         return reader.f64()
     if tag == _TAG_STR:
         n = reader.u32()
-        return reader.take(n).decode("utf-8")
+        return str(reader.take(n), "utf-8")
     if tag == _TAG_BYTES:
         n = reader.u32()
-        return reader.take(n)
+        return bytes(reader.take(n))
     if tag == _TAG_NDARRAY:
         dtype = np.dtype(reader.str16())
         ndim = reader.u8()
         shape = tuple(reader.u64() for _ in range(ndim))
         count = int(np.prod(shape)) if shape else 1
         raw = reader.take(count * dtype.itemsize)
-        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        return _frombuffer(raw, dtype, shape, copy)
     if tag == _TAG_LIST:
         n = reader.u32()
-        return [_decode_value(reader) for _ in range(n)]
+        return [_decode_value(reader, copy) for _ in range(n)]
     raise CodecError(f"unknown attribute tag {tag}")
 
 
-def _encode_attrs(attrs: dict) -> bytes:
-    out: List[bytes] = [struct.pack("<I", len(attrs))]
+def _encode_attrs_into(out: bytearray, attrs: dict) -> None:
+    out += _U32.pack(len(attrs))
     for name, value in attrs.items():
-        out.append(_pack_str16(name))
+        _append_str16(out, name)
         _encode_value(value, out)
-    return b"".join(out)
 
 
-def _decode_attrs(reader: _Reader) -> dict:
+def _encode_attrs(attrs: dict) -> bytes:
+    out = bytearray()
+    _encode_attrs_into(out, attrs)
+    return bytes(out)
+
+
+def _decode_attrs(reader: _Reader, copy: bool = True) -> dict:
     count = reader.u32()
     attrs = {}
     for _ in range(count):
         name = reader.str16()
-        attrs[name] = _decode_value(reader)
+        attrs[name] = _decode_value(reader, copy)
     return attrs
 
 
@@ -187,38 +272,55 @@ def _decode_attrs(reader: _Reader) -> dict:
 
 def encode_header(attrs: dict) -> bytes:
     """File header bytes: magic, version, file attributes."""
-    return FILE_MAGIC + struct.pack("<H", VERSION) + _encode_attrs(attrs)
+    out = bytearray(FILE_MAGIC)
+    out += _U16.pack(VERSION)
+    _encode_attrs_into(out, attrs)
+    return bytes(out)
+
+
+def _encode_dataset_into(out: bytearray, dataset: Dataset) -> None:
+    arr = dataset.data
+    out += RECORD_MAGIC
+    _append_str16(out, dataset.name)
+    _encode_attrs_into(out, dataset.attrs)
+    _append_str16(out, arr.dtype.str)
+    out.append(arr.ndim)
+    if arr.ndim:
+        dims = _DIMS.get(arr.ndim)
+        out += dims.pack(*arr.shape) if dims else struct.pack(
+            f"<{arr.ndim}Q", *arr.shape
+        )
+    out += _U64.pack(arr.nbytes)
+    _append_array_data(out, arr)
 
 
 def encode_dataset(dataset: Dataset) -> bytes:
     """One appendable dataset record."""
-    arr = dataset.data
-    parts = [
-        RECORD_MAGIC,
-        _pack_str16(dataset.name),
-        _encode_attrs(dataset.attrs),
-        _pack_str16(arr.dtype.str),
-        bytes([arr.ndim]),
-        struct.pack(f"<{arr.ndim}Q", *arr.shape) if arr.ndim else b"",
-        struct.pack("<Q", arr.nbytes),
-        arr.tobytes(),
-    ]
-    return b"".join(parts)
+    out = bytearray()
+    _encode_dataset_into(out, dataset)
+    return bytes(out)
 
 
 def encode_file(image: FileImage) -> bytes:
-    """Full file bytes for an in-memory image."""
-    parts = [encode_header(image.attrs)]
-    parts.extend(encode_dataset(d) for d in image)
-    return b"".join(parts)
+    """Full file bytes for an in-memory image.
+
+    All records accumulate into one shared buffer — the dataset payload
+    is copied exactly once on the way out.
+    """
+    out = bytearray(FILE_MAGIC)
+    out += _U16.pack(VERSION)
+    _encode_attrs_into(out, image.attrs)
+    for dataset in image:
+        _encode_dataset_into(out, dataset)
+    return bytes(out)
 
 
-def decode_header(buf: bytes) -> Tuple[dict, int]:
-    """Decode the header; returns (file_attrs, offset_after_header).
+def decode_header(buf: bytes) -> Tuple[dict, int, int]:
+    """Decode the header; returns (file_attrs, offset_after_header, version).
 
     Accepts both format versions (their headers are identical except
-    for the version number); use :func:`repro.shdf.codec_v2.detect_version`
-    to dispatch on the version itself.
+    for the version number) and hands the parsed version back so
+    callers dispatch without re-reading raw bytes.
     """
     reader = _Reader(buf)
     if reader.take(4) != FILE_MAGIC:
@@ -227,47 +329,50 @@ def decode_header(buf: bytes) -> Tuple[dict, int]:
     if version not in (1, 2):
         raise CodecError(f"unsupported SHDF version {version}")
     attrs = _decode_attrs(reader)
-    return attrs, reader.pos
+    return attrs, reader.pos, version
 
 
-def _decode_record(reader: _Reader) -> Dataset:
+def _decode_record(reader: _Reader, copy: bool = True) -> Dataset:
     if reader.take(4) != RECORD_MAGIC:
         raise CodecError("bad dataset record magic")
     name = reader.str16()
-    attrs = _decode_attrs(reader)
+    attrs = _decode_attrs(reader, copy)
     dtype = np.dtype(reader.str16())
     ndim = reader.u8()
     shape = tuple(reader.u64() for _ in range(ndim))
     nbytes = reader.u64()
     raw = reader.take(nbytes)
-    data = np.frombuffer(raw, dtype=dtype)
-    data = data.reshape(shape).copy() if shape else data.copy().reshape(())
-    return Dataset(name, data, attrs)
+    return Dataset(name, _frombuffer(raw, dtype, shape, copy), attrs)
 
 
-def iter_records(buf: bytes) -> Iterator[Dataset]:
+def iter_records(buf: bytes, copy: bool = False) -> Iterator[Dataset]:
     """Iterate dataset records of a full file buffer (header first).
 
     Works for both versions: a v2 file's records are scanned
-    sequentially up to its index block.
+    sequentially up to its index block.  Yields read-only zero-copy
+    views of ``buf`` unless ``copy=True``.
     """
-    _attrs, pos = decode_header(buf)
+    _attrs, pos, _version = decode_header(buf)
     reader = _Reader(buf, pos)
     while not reader.exhausted:
         if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
             break  # v2 index/footer reached
-        yield _decode_record(reader)
+        yield _decode_record(reader, copy)
 
 
-def decode_file(buf: bytes) -> FileImage:
+def decode_file(buf: bytes, copy: bool = False) -> FileImage:
     """Decode a full file buffer into a :class:`FileImage`.
 
     Dispatches on the format version: v1 scans sequentially, v2 reads
     through the dataset index (falling back to a scan when the index
     is missing, e.g. an unclosed file).
+
+    Dataset arrays are **read-only views** of ``buf`` by default;
+    callers that mutate them in place (the restart path) must pass
+    ``copy=True`` for private writable copies.
     """
-    attrs, pos = decode_header(buf)
-    if struct.unpack("<H", buf[4:6])[0] == 2:
+    attrs, pos, version = decode_header(buf)
+    if version == 2:
         from .codec_v2 import decode_file_v2, read_index
 
         try:
@@ -275,11 +380,11 @@ def decode_file(buf: bytes) -> FileImage:
         except CodecError:
             pass  # unclosed v2 file: sequential fallback below
         else:
-            return decode_file_v2(buf)
+            return decode_file_v2(buf, copy=copy)
     image = FileImage(attrs)
     reader = _Reader(buf, pos)
     while not reader.exhausted:
         if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
             break
-        image.add(_decode_record(reader))
+        image.add(_decode_record(reader, copy))
     return image

@@ -120,22 +120,25 @@ def read_index(buf: bytes) -> Dict[str, Tuple[int, int]]:
     return index
 
 
-def read_dataset_at(buf: bytes, offset: int) -> Dataset:
-    """Decode one record at a known offset (random access)."""
-    return _decode_record(_Reader(buf, offset))
+def read_dataset_at(buf: bytes, offset: int, copy: bool = False) -> Dataset:
+    """Decode one record at a known offset (random access).
+
+    Returns a read-only zero-copy view of ``buf`` unless ``copy=True``.
+    """
+    return _decode_record(_Reader(buf, offset), copy)
 
 
-def decode_file_v2(buf: bytes) -> FileImage:
+def decode_file_v2(buf: bytes, copy: bool = False) -> FileImage:
     """Decode a full v2 buffer via its index."""
     if detect_version(buf) != VERSION_2:
         raise CodecError("not a v2 SHDF file")
     reader = _Reader(buf, 6)
-    attrs = _decode_attrs(reader)
+    attrs = _decode_attrs(reader, copy)
     image = FileImage(attrs)
     index = read_index(buf)
     # Preserve on-disk record order (insertion order of the writer).
     for name, (offset, _length) in sorted(index.items(), key=lambda kv: kv[1][0]):
-        dataset = read_dataset_at(buf, offset)
+        dataset = read_dataset_at(buf, offset, copy)
         if dataset.name != name:
             raise CodecError(
                 f"index entry {name!r} points at record {dataset.name!r}"

@@ -211,7 +211,9 @@ class SHDFReader:
         t0 = self.env.now
         yield from self.fs.meta_op(self.node)
         buf = self.fs.disk.open(self.path).read()
-        self._image = decode_file(buf)
+        # copy=True: restart consumers install these arrays into Roccom
+        # windows, where physics kernels mutate them in place.
+        self._image = decode_file(buf, copy=True)
         self._record("open", 0, t0)
         return self._image.attrs
 

@@ -75,6 +75,11 @@ class Comm:
         self.rank = rank
         self._coll_seq = 0
         self._send_seq = 0
+        self._recorder = getattr(job, "recorder", None)
+        #: Lazy caches for per-message lookups (comm rank -> Node /
+        #: Mailbox); both mappings are stable for the job's lifetime.
+        self._node_cache = {}
+        self._mailbox_cache = {}
 
     # -- introspection ----------------------------------------------------
     @property
@@ -89,10 +94,16 @@ class Comm:
         return self.group[self.rank if rank is None else rank]
 
     def _node(self, rank: int):
-        return self.job.context(self.group[rank]).node
+        node = self._node_cache.get(rank)
+        if node is None:
+            node = self._node_cache[rank] = self.job.context(self.group[rank]).node
+        return node
 
     def _mailbox(self, rank: int):
-        return self.job.mailbox(self.id, self.group[rank])
+        box = self._mailbox_cache.get(rank)
+        if box is None:
+            box = self._mailbox_cache[rank] = self.job.mailbox(self.id, self.group[rank])
+        return box
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.size:
@@ -118,7 +129,7 @@ class Comm:
             mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
             seq=self._send_seq,
         )
-        recorder = getattr(self.job, "recorder", None)
+        recorder = self._recorder
         if recorder is not None:
             recorder.count_send(
                 self.global_rank(), self.group[dest], nbytes,
@@ -127,11 +138,13 @@ class Comm:
         yield env.timeout(network.spec.sw_overhead)
         if envelope.mode == MODE_EAGER:
             # Buffered: payload travels on its own; send returns now.
-            def _eager_flight():
-                yield from network.transfer(src_node, dst_node, nbytes)
-                self._mailbox(dest).deliver(envelope)
-
-            env.process(_eager_flight(), name=f"eager:{self.rank}->{dest}")
+            # The flight rides the network's callback chain — spawning a
+            # process per eager message would double the event count.
+            mailbox = self._mailbox(dest)
+            network.schedule_transfer(
+                src_node, dst_node, nbytes,
+                lambda: mailbox.deliver(envelope),
+            )
             return
         # Rendezvous: announce, then block until the receiver drains us.
         envelope.done_event = Event(env)
@@ -153,7 +166,7 @@ class Comm:
             yield from network.control_message(dst_node, src_node)
             yield from network.transfer(src_node, dst_node, envelope.nbytes)
             envelope.done_event.succeed()
-        recorder = getattr(self.job, "recorder", None)
+        recorder = self._recorder
         if recorder is not None:
             recorder.count_recv(self.global_rank(), envelope.nbytes)
         yield env.timeout(network.spec.sw_overhead)

@@ -30,7 +30,7 @@ class MPIError(RuntimeError):
     """Raised on misuse of the vmpi API."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Status:
     """Result metadata of a receive or probe."""
 
@@ -39,9 +39,9 @@ class Status:
     nbytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
-    """An in-flight message (internal)."""
+    """An in-flight message (internal; one allocated per message)."""
 
     comm_id: int
     src: int  # comm-local source rank

@@ -179,6 +179,7 @@ class Job:
         placement: Optional[Callable] = None,
         tracer: Optional[Tracer] = None,
         memcpy_bw: Optional[float] = None,
+        mailbox_factory: Optional[Callable] = None,
     ):
         if nprocs <= 0:
             raise ValueError("nprocs must be > 0")
@@ -207,6 +208,9 @@ class Job:
             cpu.assign(rank, ROLE_COMPUTE)
             self.contexts.append(RankContext(self, rank, node, cpu))
 
+        #: Mailbox implementation used for every rank/communicator pair
+        #: (swappable so benchmarks can compare matcher implementations).
+        self._mailbox_factory = mailbox_factory or Mailbox
         self._mailboxes: Dict[Tuple[int, int], Mailbox] = {}
         self._next_comm_id = 1  # 0 = world
 
@@ -218,7 +222,7 @@ class Job:
         key = (comm_id, global_rank)
         box = self._mailboxes.get(key)
         if box is None:
-            box = self._mailboxes[key] = Mailbox(self.env)
+            box = self._mailboxes[key] = self._mailbox_factory(self.env)
         return box
 
     def alloc_comm_id(self) -> int:

@@ -106,6 +106,16 @@ def test_truncation_never_decodes_silently(image, cut):
 
 
 @given(file_images())
+@settings(max_examples=60, deadline=None)
+def test_zero_copy_and_copying_decodes_are_identical(image):
+    """Read-only views and private copies must hold identical content."""
+    buf = encode_file(image)
+    views = decode_file(buf)            # zero-copy default
+    copies = decode_file(buf, copy=True)
+    assert views == copies == image
+
+
+@given(file_images())
 @settings(max_examples=80, deadline=None)
 def test_v2_roundtrip_matches_v1(image):
     """Both on-disk formats decode to the identical image."""

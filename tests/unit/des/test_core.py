@@ -181,6 +181,29 @@ def test_fail_requires_exception():
         env.event().fail("not an exception")
 
 
+def test_trigger_on_already_triggered_event_rejected():
+    # Regression: trigger() used as a chaining callback must refuse a
+    # second firing just like succeed()/fail() do, instead of silently
+    # rescheduling the event and overwriting its value.
+    env = Environment()
+    source = env.event()
+    source.succeed("first")
+    chained = env.event()
+    chained.trigger(source)
+    with pytest.raises(RuntimeError, match="already been triggered"):
+        chained.trigger(source)
+    assert chained.value == "first"
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+def test_non_finite_timeout_rejected(delay):
+    # Regression: a NaN/inf delay would poison the heap ordering of
+    # every event scheduled after it.
+    env = Environment()
+    with pytest.raises(ValueError, match="non-finite"):
+        env.timeout(delay)
+
+
 def test_unhandled_process_exception_propagates_to_run():
     env = Environment()
 

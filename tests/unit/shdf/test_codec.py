@@ -44,9 +44,10 @@ def test_roundtrip_full_file():
 def test_header_roundtrip():
     attrs = {"a": 1, "b": "text", "c": 2.5}
     buf = encode_header(attrs)
-    decoded, pos = decode_header(buf)
+    decoded, pos, version = decode_header(buf)
     assert decoded == attrs
     assert pos == len(buf)
+    assert version == 1
 
 
 def test_bad_magic_rejected():
@@ -146,9 +147,53 @@ def test_large_dataset_roundtrip():
     np.testing.assert_array_equal(out.data, data)
 
 
-def test_decoded_arrays_are_writable_copies():
+@pytest.mark.parametrize("dtype", [">f8", ">i4", "<f8", "<i4"])
+def test_non_native_endian_roundtrip_zero_copy(dtype):
+    # The dtype string is stored verbatim, so a big-endian array decodes
+    # as a big-endian view over the buffer — byte-identical, no swap.
+    data = np.arange(9, dtype=np.float64).astype(dtype).reshape(3, 3)
+    img = FileImage()
+    img.add(Dataset("d", data))
+    out = decode_file(encode_file(img)).get("d")
+    assert out.data.dtype == np.dtype(dtype)
+    assert not out.data.flags.writeable
+    np.testing.assert_array_equal(out.data, data)
+
+
+def test_empty_attrs_roundtrip_zero_copy():
+    img = FileImage({})
+    img.add(Dataset("d", np.arange(3), {}))
+    out = decode_file(encode_file(img))
+    assert out.attrs == {}
+    assert out.get("d").attrs == {}
+
+
+def test_dataset_attr_arrays_are_readonly_views_by_default():
+    # Dataset-level attrs follow the copy flag (file-level header attrs
+    # are always private copies — they are tiny and parsed up front).
+    img = FileImage()
+    img.add(Dataset("d", np.arange(3), {"grid": np.arange(6.0).reshape(2, 3)}))
+    got = decode_file(encode_file(img)).get("d").attrs["grid"]
+    assert not got.flags.writeable
+    np.testing.assert_array_equal(got, np.arange(6.0).reshape(2, 3))
+
+
+def test_decoded_arrays_are_readonly_views_by_default():
     img = FileImage()
     img.add(Dataset("d", np.arange(5)))
     out = decode_file(encode_file(img)).get("d")
-    out.data[0] = 99  # must not raise (no read-only frombuffer views)
+    assert not out.data.flags.writeable
+    with pytest.raises(ValueError):
+        out.data[0] = 99  # mutation must fail loudly, not corrupt the view
+
+
+def test_decode_copy_yields_writable_private_arrays():
+    img = FileImage()
+    img.add(Dataset("d", np.arange(5)))
+    buf = encode_file(img)
+    out = decode_file(buf, copy=True).get("d")
+    assert out.data.flags.writeable
+    out.data[0] = 99
     assert out.data[0] == 99
+    # The buffer itself is untouched: a fresh decode sees the original.
+    assert decode_file(buf).get("d").data[0] == 0
