@@ -8,6 +8,8 @@ Runs the paper's experiments and demos without going through pytest:
 * ``ablations`` — the A1–A6 design-choice studies
 * ``demo``    — a quick GENx run with a timing breakdown
 * ``trace``   — per-rank I/O timeline + overlap ratios (repro.obs)
+* ``perfbench``  — wall-clock microbenchmarks of the simulator itself
+* ``faultbench`` — fault-injection chaos matrix + recovery rates
 
 ``--quick`` shrinks everything for a fast smoke pass; ``--out DIR``
 also writes the rendered tables (and, where a command produces one,
@@ -171,6 +173,19 @@ def cmd_perfbench(args) -> None:
     _emit(args, "perf.txt", render_perf(payload), payload=payload)
 
 
+def cmd_faultbench(args) -> None:
+    from .bench.faults import DEFAULT_PERF_PATH, render_faults, run_faultbench
+
+    payload = run_faultbench(
+        quick=args.quick,
+        seed=args.seed,
+        skip_overhead=args.skip_overhead,
+        perf_path=args.perf_baseline or DEFAULT_PERF_PATH,
+        only=args.only or None,
+    )
+    _emit(args, "faults.txt", render_faults(payload), payload=payload)
+
+
 def cmd_trace(args) -> None:
     from .bench import render_table
     from .cluster import Machine, turing
@@ -208,6 +223,7 @@ def cmd_trace(args) -> None:
         payload = summary_payload(recorder)
         payloads[mode] = payload
         mod = payload["modules"].get(mode, {})
+        counters = payload["counters"].get(mode, {})
         rows.append([
             mode,
             mod.get("visible_write_time", 0.0),
@@ -215,10 +231,13 @@ def cmd_trace(args) -> None:
             overlap_ratio(recorder.io_records, module=mode),
             payload["comm"]["messages_sent"],
             payload["comm"]["bytes_sent"],
+            int(counters.get("overflow_flushes", 0)),
+            int(counters.get("retries", 0) + counters.get("write_retries", 0)),
+            int(counters.get("failovers", 0)),
         ])
     sections.append(render_table(
         ["service", "visible write (s)", "background (s)", "overlap",
-         "messages", "bytes on wire"],
+         "messages", "bytes on wire", "flushes", "retries", "failovers"],
         rows,
         title="Instrumentation summary (overlap = background / (background + visible write))",
     ))
@@ -264,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the end-to-end table1(64p) wall-clock run",
     )
     perf.set_defaults(func=cmd_perfbench)
+    faults = sub.add_parser(
+        "faultbench",
+        help="chaos matrix: fault injection x I/O module recovery rates",
+    )
+    faults.add_argument(
+        "--skip-overhead", action="store_true",
+        help="skip the no-fault table1(64p) overhead measurement",
+    )
+    faults.add_argument(
+        "--perf-baseline", default=None, metavar="PATH",
+        help="committed BENCH_perf JSON the overhead compares against "
+             "(default: bench_results/BENCH_perf.json)",
+    )
+    faults.add_argument(
+        "--only", action="append", metavar="SCENARIO/MODULE",
+        help="run only this chaos-matrix row (repeatable); "
+             "see repro.bench.scenario_names()",
+    )
+    faults.set_defaults(func=cmd_faultbench)
     trace = sub.add_parser(
         "trace", help="per-rank I/O timeline and overlap ratios"
     )

@@ -9,6 +9,7 @@ from .ablations import (
     run_ratio_sweep,
 )
 from .experiment import bench_runs, bench_scale, repeat_runs, summarize
+from .faults import render_faults, run_faultbench, scenario_names
 from .fig3a import Fig3aResult, run_fig3a
 from .fig3b import Fig3bResult, run_fig3b
 from .perf import (
@@ -53,6 +54,9 @@ __all__ = [
     "bench_runs",
     "run_perfbench",
     "render_perf",
+    "run_faultbench",
+    "render_faults",
+    "scenario_names",
     "load_baseline",
     "bench_des_events",
     "bench_mailbox_backlog",

@@ -72,6 +72,22 @@ class Machine:
         self.fs: FileSystemModel = spec.fs_factory(self.env, self.disk)
         self.noise: NoiseModel = spec.noise
         self._network: Optional[Network] = None
+        #: Armed fault injector (:meth:`install_faults`), or ``None``.
+        self.faults = None
+
+    def install_faults(self, plan):
+        """Arm a :class:`repro.faults.FaultPlan` on this run.
+
+        Returns the live :class:`repro.faults.FaultInjector`; jobs
+        launched on this machine pick it up automatically.
+        """
+        from ..faults.injector import FaultInjector
+
+        if self.faults is not None:
+            raise RuntimeError("faults already installed on this machine")
+        self.faults = FaultInjector(self, plan)
+        self.faults.install()
+        return self.faults
 
     def build_network(self, nprocs: int) -> Network:
         """Instantiate the network for a job of ``nprocs`` processes."""

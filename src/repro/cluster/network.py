@@ -63,6 +63,13 @@ class Network:
         #: Total payload bytes moved (diagnostics).
         self.bytes_transferred = 0
         self.messages = 0
+        #: Optional fault filter installed by the fault injector:
+        #: ``filter(src_rank, dst_rank, tag, nbytes)`` returns ``None``
+        #: (deliver normally) or ``(kind, extra_delay)`` with ``kind``
+        #: in ``{"drop", "duplicate", "delay"}``.  Consulted by
+        #: ``Comm.send``; ``None`` (the default) costs one attribute
+        #: check on the no-fault path.
+        self.fault_filter = None
 
     # -- cost helpers ---------------------------------------------------
     def effective_latency(self) -> float:
@@ -73,6 +80,12 @@ class Network:
 
     def is_eager(self, nbytes: int) -> bool:
         return nbytes <= self.spec.eager_threshold
+
+    def fault_decision(self, src_rank: int, dst_rank: int, tag: int, nbytes: int):
+        """Consult the installed fault filter for one message, if any."""
+        if self.fault_filter is None:
+            return None
+        return self.fault_filter(src_rank, dst_rank, tag, nbytes)
 
     def transfer_time(self, src: Node, dst: Node, nbytes: int) -> float:
         """Pure wire time, excluding NIC queueing and endpoint overhead."""
@@ -103,7 +116,14 @@ class Network:
         finally:
             nic.release(req)
 
-    def schedule_transfer(self, src: Node, dst: Node, nbytes: int, callback: Callable[[], None]) -> None:
+    def schedule_transfer(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: int,
+        callback: Callable[[], None],
+        extra_delay: float = 0.0,
+    ) -> None:
         """Fire-and-forget :meth:`transfer`: ``callback()`` runs when the
         payload lands.
 
@@ -111,10 +131,11 @@ class Network:
         ``transfer``; the difference is purely mechanical — the flight is
         chained through event callbacks instead of occupying a dedicated
         generator process, which matters because one of these runs per
-        eager message.
+        eager message.  ``extra_delay`` adds injected flight time
+        (message-delay faults).
         """
         load = max(src.external_load, dst.external_load)
-        duration = self.transfer_time(src, dst, nbytes) * load
+        duration = self.transfer_time(src, dst, nbytes) * load + extra_delay
         self.messages += 1
         self.bytes_transferred += nbytes
         env = self.env

@@ -1,0 +1,32 @@
+"""Seeded, deterministic fault injection for the simulated I/O stack.
+
+A :class:`FaultPlan` (pure data) describes rank crashes, VFS write
+faults (transient EIO / disk-full), message drop/duplication/delay, and
+straggler nodes.  ``machine.install_faults(plan)`` arms the plan; the
+job launcher wires the per-job parts automatically.  All fault timing
+derives from the plan and the machine seed, so failures are exactly
+reproducible — the property the ``faultbench`` chaos matrix checks.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    DiskFull,
+    FaultPlan,
+    MessageFault,
+    ServerCrash,
+    Straggler,
+    TransientEIO,
+)
+from .retry import RetryPolicy, retrying
+
+__all__ = [
+    "FaultPlan",
+    "ServerCrash",
+    "TransientEIO",
+    "DiskFull",
+    "MessageFault",
+    "Straggler",
+    "FaultInjector",
+    "RetryPolicy",
+    "retrying",
+]

@@ -1,0 +1,59 @@
+"""Timeout / exponential-backoff retry helper for DES generators.
+
+The I/O modules share one retry shape: attempt an operation (itself a
+generator of DES events), and on a retryable fault back off
+exponentially in *virtual* time and try again with a fresh generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from ..fs.vfs import WriteFaultError
+
+__all__ = ["RetryPolicy", "retrying"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule: ``base_delay * factor**attempt``."""
+
+    max_attempts: int = 5
+    base_delay: float = 1e-3
+    factor: float = 2.0
+    #: Timeout for one remote attempt (used by Rocpanda's guarded sends).
+    op_timeout: float = 0.25
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.base_delay * self.factor**attempt
+
+
+def retrying(
+    env,
+    policy: RetryPolicy,
+    op_factory: Callable[[], object],
+    retry_on: Tuple[Type[BaseException], ...] = (WriteFaultError,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Generator: run ``op_factory()`` to completion, retrying faults.
+
+    ``op_factory`` must return a *fresh* generator per call (a bound
+    lambda), because a generator that raised cannot be resumed.  Between
+    attempts the caller sleeps ``policy.delay(attempt)`` virtual
+    seconds.  After ``max_attempts`` failures the last fault propagates.
+    ``on_retry(attempt, exc)`` is called before each backoff — the hook
+    where callers bump their retry counters.
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            result = yield from op_factory()
+            return result
+        except retry_on as exc:
+            if attempt == policy.max_attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            yield env.timeout(policy.delay(attempt))
+    raise AssertionError("unreachable")

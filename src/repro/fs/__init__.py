@@ -7,13 +7,24 @@ from .models import (
     LocalFSModel,
     NFSModel,
 )
-from .vfs import FileExists, FileNotFound, VirtualDisk, VirtualFile
+from .vfs import (
+    DiskFullError,
+    FileExists,
+    FileNotFound,
+    TransientIOError,
+    VirtualDisk,
+    VirtualFile,
+    WriteFaultError,
+)
 
 __all__ = [
     "VirtualDisk",
     "VirtualFile",
     "FileNotFound",
     "FileExists",
+    "WriteFaultError",
+    "TransientIOError",
+    "DiskFullError",
     "FileSystemModel",
     "FSMetrics",
     "NFSModel",

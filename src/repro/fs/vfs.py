@@ -4,14 +4,33 @@ The timing of I/O operations is modeled by the filesystem models in
 :mod:`repro.fs.models`; the *content* lives here.  Keeping real bytes
 means snapshot/restart round-trips are bit-exact and testable, and a
 virtual disk can be persisted to (or loaded from) a real directory.
+
+Write faults
+------------
+A disk can refuse writes in two ways, both checked *before* any byte is
+mutated so a failed write never leaves partial state behind:
+
+* ``capacity_bytes`` — a hard limit on the total bytes stored across all
+  files; growth past it raises :class:`DiskFullError`.
+* ``fault_hook`` — an optional callable ``hook(path, nbytes)`` installed
+  by the fault injector; it may raise :class:`TransientIOError` (or any
+  :class:`WriteFaultError`) to fail the write.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
-__all__ = ["VirtualFile", "VirtualDisk", "FileNotFound", "FileExists"]
+__all__ = [
+    "VirtualFile",
+    "VirtualDisk",
+    "FileNotFound",
+    "FileExists",
+    "WriteFaultError",
+    "TransientIOError",
+    "DiskFullError",
+]
 
 
 class FileNotFound(KeyError):
@@ -22,29 +41,53 @@ class FileExists(KeyError):
     """Raised when exclusively creating a path that already exists."""
 
 
+class WriteFaultError(OSError):
+    """Base class for injected or capacity-driven write failures."""
+
+
+class TransientIOError(WriteFaultError):
+    """An EIO-style fault that may succeed if the write is retried."""
+
+
+class DiskFullError(WriteFaultError):
+    """The disk's ``capacity_bytes`` limit would be exceeded (ENOSPC)."""
+
+
 class VirtualFile:
     """A byte container with append/at-offset write and ranged read."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, disk: Optional["VirtualDisk"] = None):
         self.path = path
+        self.disk = disk
         self._data = bytearray()
 
     @property
     def size(self) -> int:
         return len(self._data)
 
+    def _check_write(self, grow: int) -> None:
+        if self.disk is not None:
+            self.disk._check_write(self.path, grow)
+
     def append(self, data: bytes) -> int:
         """Append ``data``; returns the offset it was written at."""
+        self._check_write(len(data))
         offset = len(self._data)
         self._data.extend(data)
+        if self.disk is not None:
+            self.disk._used += len(data)
         return offset
 
     def write_at(self, offset: int, data: bytes) -> None:
         if offset < 0:
             raise ValueError("negative offset")
         end = offset + len(data)
-        if end > len(self._data):
-            self._data.extend(b"\x00" * (end - len(self._data)))
+        grow = max(0, end - len(self._data))
+        self._check_write(grow)
+        if grow:
+            self._data.extend(b"\x00" * grow)
+            if self.disk is not None:
+                self.disk._used += grow
         self._data[offset:end] = data
 
     def read(self, offset: int = 0, nbytes: Optional[int] = None) -> bytes:
@@ -53,6 +96,8 @@ class VirtualFile:
         return bytes(self._data[offset : offset + nbytes])
 
     def truncate(self) -> None:
+        if self.disk is not None:
+            self.disk._used -= len(self._data)
         self._data.clear()
 
     def __repr__(self) -> str:
@@ -62,15 +107,37 @@ class VirtualFile:
 class VirtualDisk:
     """A flat namespace of :class:`VirtualFile` objects."""
 
-    def __init__(self):
+    def __init__(self, capacity_bytes: Optional[int] = None):
         self._files: Dict[str, VirtualFile] = {}
+        self.capacity_bytes = capacity_bytes
+        #: Optional ``hook(path, nbytes)`` consulted before every write;
+        #: may raise a :class:`WriteFaultError` to fail it.
+        self.fault_hook: Optional[Callable[[str, int], None]] = None
+        self._used = 0
+
+    def _check_write(self, path: str, grow: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(path, grow)
+        cap = self.capacity_bytes
+        if cap is not None and self._used + grow > cap:
+            raise DiskFullError(
+                f"disk full: {self._used} + {grow} > capacity {cap} ({path})"
+            )
+
+    def set_capacity(self, capacity_bytes: Optional[int]) -> None:
+        """Change the capacity limit (``None`` removes it).
+
+        Existing content is never discarded, even if it already exceeds
+        the new limit; only further growth is refused.
+        """
+        self.capacity_bytes = capacity_bytes
 
     def create(self, path: str, exist_ok: bool = False) -> VirtualFile:
         if path in self._files:
             if not exist_ok:
                 raise FileExists(path)
             return self._files[path]
-        f = VirtualFile(path)
+        f = VirtualFile(path, disk=self)
         self._files[path] = f
         return f
 
@@ -85,9 +152,10 @@ class VirtualDisk:
 
     def unlink(self, path: str) -> None:
         try:
-            del self._files[path]
+            f = self._files.pop(path)
         except KeyError:
             raise FileNotFound(path) from None
+        self._used -= f.size
 
     def listdir(self, prefix: str = "") -> List[str]:
         return sorted(p for p in self._files if p.startswith(prefix))

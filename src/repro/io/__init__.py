@@ -27,9 +27,10 @@ from .rocpanda import (
     server_file_path,
     server_ranks,
 )
-from .trochdf import TRochdfModule
+from .trochdf import BackgroundWriteError, TRochdfModule
 
 __all__ = [
+    "BackgroundWriteError",
     "DataBlock",
     "IOStats",
     "collect_blocks",

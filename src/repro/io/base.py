@@ -84,6 +84,10 @@ class IOStats:
     blocks_read: int = 0
     files_created: int = 0
     snapshots: int = 0
+    #: Resilience accounting: faulted operations retried (write faults,
+    #: timed-out sends) and dead-server failovers performed.
+    retries: int = 0
+    failovers: int = 0
 
     def merge(self, other: "IOStats") -> "IOStats":
         return IOStats(
@@ -96,6 +100,8 @@ class IOStats:
             blocks_read=self.blocks_read + other.blocks_read,
             files_created=self.files_created + other.files_created,
             snapshots=self.snapshots + other.snapshots,
+            retries=self.retries + other.retries,
+            failovers=self.failovers + other.failovers,
         )
 
 

@@ -25,10 +25,12 @@ Typical SPMD usage::
 from .client import RocpandaModule
 from .protocol import TAG_BLOCK, TAG_CTRL, TAG_REPLY, ProtocolError
 from .server import PandaServer, ServerConfig, ServerStats, server_file_path
-from .topology import Topology, rocpanda_init, server_ranks
+from .topology import Topology, clients_of, failover_server, rocpanda_init, server_ranks
 
 __all__ = [
     "ProtocolError",
+    "clients_of",
+    "failover_server",
     "RocpandaModule",
     "PandaServer",
     "ServerConfig",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ...des import Event, Store
+from ...faults.retry import RetryPolicy
 from ...roccom.module import ServiceModule
 from ...vmpi.datatypes import ANY_SOURCE
 from ...vthread import VThread
@@ -30,9 +31,28 @@ from .protocol import (
     SyncRequest,
     WriteBegin,
 )
-from .topology import Topology
+from .topology import Topology, failover_server
 
 __all__ = ["RocpandaModule"]
+
+
+class _PendingOutput:
+    """One write_attribute call not yet acknowledged by a sync.
+
+    Kept so that, when this client's server dies, everything the dead
+    server may not have committed can be re-shipped wholesale to the
+    failover target (whose block dedup drops anything it already has).
+    """
+
+    __slots__ = ("path", "window", "blocks", "file_attrs", "delivered_to")
+
+    def __init__(self, path, window, blocks, file_attrs):
+        self.path = path
+        self.window = window
+        self.blocks = blocks
+        self.file_attrs = file_attrs
+        #: Server rank this entry was last fully delivered to.
+        self.delivered_to = None
 
 
 class RocpandaModule(ServiceModule):
@@ -52,6 +72,7 @@ class RocpandaModule(ServiceModule):
         pack_overhead: float = None,
         pack_bw: float = None,
         client_buffering: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ):
         """``client_buffering`` enables the *full* active-buffering
         hierarchy of [13]: output is first copied into client-side
@@ -68,16 +89,26 @@ class RocpandaModule(ServiceModule):
         self.pack_overhead = pack_overhead if pack_overhead is not None else self.PACK_OVERHEAD
         self.pack_bw = pack_bw if pack_bw is not None else self.PACK_BW
         self.client_buffering = client_buffering
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = IOStats()
         self.com = None
         self._finalized = False
         self._sender: Optional[VThread] = None
         self._send_queue: Optional[Store] = None
         self._pending_sends: List[Event] = []
+        #: Current I/O server (``topo.my_server`` until a failover).
+        self._server = topo.my_server
+        #: FaultInjector when the machine runs under fault injection;
+        #: None keeps every code path byte-identical to the fault-free
+        #: module (the resilience layer costs one attribute check).
+        self._faults = None
+        self._unsynced: List[_PendingOutput] = []
+        self._sync_seq = 0
 
     # -- module lifecycle ---------------------------------------------------
     def load(self, com) -> None:
         self.com = com
+        self._faults = getattr(self.ctx.machine, "faults", None)
         self._register_io_window(com)
         if self.client_buffering:
             self._send_queue = Store(self.ctx.env)
@@ -133,8 +164,13 @@ class RocpandaModule(ServiceModule):
             self._send_queue.put(
                 (path, window_name, blocks, dict(file_attrs or {}), done)
             )
-        else:
+        elif self._faults is None:
             yield from self._ship(path, window_name, blocks, dict(file_attrs or {}))
+        else:
+            self._unsynced.append(
+                _PendingOutput(path, window_name, blocks, dict(file_attrs or {}))
+            )
+            yield from self._deliver_pending()
         self.stats.snapshots += 1
         self.stats.visible_write_time += ctx.now - t0
         ctx.io_record(
@@ -146,7 +182,7 @@ class RocpandaModule(ServiceModule):
         """Generator: the actual WriteBegin + block-send sequence."""
         ctx = self.ctx
         world = self.topo.world
-        server = self.topo.my_server
+        server = self._server
         yield from world.send(
             WriteBegin(
                 path=path,
@@ -170,6 +206,104 @@ class RocpandaModule(ServiceModule):
             self.stats.blocks_written += 1
             self.stats.bytes_written += block.nbytes
 
+    # -- resilience layer (active only under fault injection) ---------------
+    def _record_counter(self, name: str) -> None:
+        rec = self.ctx.recorder
+        if rec is not None:
+            rec.record_counter(self.name, name)
+
+    def _failover(self) -> None:
+        """Retarget to the deterministic replacement for a dead server."""
+        dead = self._server
+        self._server = failover_server(dead, self.topo.servers, self._faults.is_dead)
+        self.stats.failovers += 1
+        self._record_counter("failovers")
+        self.ctx.trace(
+            "rocpanda", f"server {dead} dead; failing over to {self._server}"
+        )
+
+    def _send_guarded(self, msg, tag):
+        """Generator: send with timeout + backoff; returns 'ok' or 'dead'.
+
+        ``"retracted"`` verdicts (the server never saw the message) are
+        resent after exponential backoff; ``"stuck"`` verdicts mean the
+        server is mid-pull, so the message counts as delivered (server
+        block dedup covers the crashed-mid-pull corner at re-ship).
+        """
+        ctx = self.ctx
+        world = self.topo.world
+        policy = self.retry
+        for attempt in range(policy.max_attempts):
+            if self._faults.is_dead(self._server):
+                return "dead"
+            verdict = yield from world.send_with_timeout(
+                msg, dest=self._server, tag=tag, timeout=policy.op_timeout
+            )
+            if verdict == "ok":
+                return "ok"
+            if self._faults.is_dead(self._server):
+                return "dead"
+            if verdict == "stuck":
+                return "ok"
+            self.stats.retries += 1
+            self._record_counter("retries")
+            yield ctx.env.timeout(policy.delay(attempt))
+        if self._faults.is_dead(self._server):
+            return "dead"
+        raise RuntimeError(
+            f"rank {ctx.rank}: send to Rocpanda server {self._server} "
+            f"kept timing out"
+        )
+
+    def _ship_guarded(self, entry: _PendingOutput):
+        """Generator: ship one pending output; returns 'ok' or 'dead'."""
+        ctx = self.ctx
+        verdict = yield from self._send_guarded(
+            WriteBegin(
+                path=entry.path,
+                window=entry.window,
+                nblocks=len(entry.blocks),
+                total_bytes=sum(b.nbytes for b in entry.blocks),
+                file_attrs=entry.file_attrs,
+            ),
+            TAG_CTRL,
+        )
+        if verdict != "ok":
+            return verdict
+        for block in entry.blocks:
+            yield ctx.env.timeout(self.pack_overhead + block.nbytes / self.pack_bw)
+            verdict = yield from self._send_guarded(
+                BlockEnvelope(entry.path, block), TAG_BLOCK
+            )
+            if verdict != "ok":
+                return verdict
+            self.stats.blocks_written += 1
+            self.stats.bytes_written += block.nbytes
+        return "ok"
+
+    def _deliver_pending(self):
+        """Generator: (re)ship entries not yet delivered to the current server."""
+        for _ in range(len(self.topo.servers) + 1):
+            undelivered = [
+                e for e in self._unsynced if e.delivered_to != self._server
+            ]
+            if not undelivered:
+                return
+            failed = False
+            for entry in undelivered:
+                verdict = yield from self._ship_guarded(entry)
+                if verdict == "dead":
+                    failed = True
+                    break
+                entry.delivered_to = self._server
+            if not failed:
+                return
+            self._failover()
+        raise RuntimeError(
+            f"rank {self.ctx.rank}: could not deliver output to any "
+            f"Rocpanda server"
+        )
+
     def _sender_main(self):
         """Persistent background sender (client-side buffering mode)."""
         while True:
@@ -178,7 +312,13 @@ class RocpandaModule(ServiceModule):
                 return
             path, window_name, blocks, file_attrs, done = job
             t0 = self.ctx.now
-            yield from self._ship(path, window_name, blocks, file_attrs)
+            if self._faults is None:
+                yield from self._ship(path, window_name, blocks, file_attrs)
+            else:
+                self._unsynced.append(
+                    _PendingOutput(path, window_name, blocks, file_attrs)
+                )
+                yield from self._deliver_pending()
             done.succeed()
             self.ctx.io_record(
                 self.name, "bg_ship", path=path,
@@ -208,6 +348,8 @@ class RocpandaModule(ServiceModule):
         world = self.topo.world
         t0 = ctx.now
         yield from self._drain_sends()
+        if self._faults is not None and self._faults.is_dead(self._server):
+            self._failover()
         window = self.com.window(window_name)
         wanted = set(window.pane_ids())
         yield from world.send(
@@ -217,7 +359,7 @@ class RocpandaModule(ServiceModule):
                 block_ids=tuple(sorted(wanted)),
                 attr_names=tuple(attr_names) if attr_names is not None else None,
             ),
-            dest=self.topo.my_server,
+            dest=self._server,
             tag=TAG_CTRL,
         )
         restored: List[int] = []
@@ -226,6 +368,11 @@ class RocpandaModule(ServiceModule):
         while not done:
             msg, status = yield from world.recv(source=ANY_SOURCE, tag=TAG_REPLY)
             if isinstance(msg, RestartBlock):
+                if msg.block.block_id not in wanted:
+                    # Duplicate: the block also survived in another file
+                    # (e.g. a committed snapshot plus a failed-over
+                    # re-ship generation); apply only the first copy.
+                    continue
                 apply_block(self.com, msg.block)
                 restored.append(msg.block.block_id)
                 wanted.discard(msg.block.block_id)
@@ -234,6 +381,9 @@ class RocpandaModule(ServiceModule):
                 nbytes += msg.block.nbytes
             elif isinstance(msg, RestartDone):
                 done = True
+            elif isinstance(msg, SyncReply):
+                # Stale ack from a re-sent sync request; drop it.
+                continue
             else:
                 raise TypeError(f"unexpected restart reply {type(msg).__name__}")
         if wanted:
@@ -253,12 +403,71 @@ class RocpandaModule(ServiceModule):
         t0 = self.ctx.now
         world = self.topo.world
         yield from self._drain_sends()
-        yield from world.send(SyncRequest(), dest=self.topo.my_server, tag=TAG_CTRL)
-        msg, _ = yield from world.recv(source=self.topo.my_server, tag=TAG_REPLY)
-        if not isinstance(msg, SyncReply):
-            raise TypeError(f"expected SyncReply, got {type(msg).__name__}")
+        if self._faults is None:
+            yield from world.send(SyncRequest(), dest=self._server, tag=TAG_CTRL)
+            msg, _ = yield from world.recv(source=self._server, tag=TAG_REPLY)
+            if not isinstance(msg, SyncReply):
+                raise TypeError(f"expected SyncReply, got {type(msg).__name__}")
+        else:
+            yield from self._sync_resilient()
         self.stats.sync_time += self.ctx.now - t0
         self.ctx.io_record(self.name, "sync", t_start=t0)
+
+    def _sync_resilient(self):
+        """Generator: sync that survives lost messages and dead servers.
+
+        Requests carry a sequence number the server echoes; on a reply
+        timeout the request is re-sent (same seq) while the server is
+        alive, and stale replies from earlier requests are discarded.
+        A dead server triggers failover: re-ship everything unsynced to
+        the replacement, then sync against it.
+        """
+        world = self.topo.world
+        policy = self.retry
+        self._sync_seq += 1
+        seq = self._sync_seq
+        for _ in range(len(self.topo.servers) + 1):
+            yield from self._deliver_pending()
+            verdict = yield from self._send_guarded(SyncRequest(seq), TAG_CTRL)
+            if verdict == "dead":
+                self._failover()
+                continue
+            acked = False
+            misses = 0
+            while not acked:
+                reply = yield from world.recv_with_timeout(
+                    source=self._server, tag=TAG_REPLY,
+                    timeout=policy.op_timeout * 4,
+                )
+                if reply is None:
+                    if self._faults.is_dead(self._server):
+                        break
+                    misses += 1
+                    if misses > 1000:
+                        raise RuntimeError(
+                            f"rank {self.ctx.rank}: Rocpanda sync stalled"
+                        )
+                    # Request or reply lost (or the server is still
+                    # draining its queue): ask again with the same seq.
+                    self.stats.retries += 1
+                    self._record_counter("retries")
+                    verdict = yield from self._send_guarded(
+                        SyncRequest(seq), TAG_CTRL
+                    )
+                    if verdict == "dead":
+                        break
+                    continue
+                msg, _ = reply
+                if isinstance(msg, SyncReply) and msg.seq == seq:
+                    acked = True
+                # else: stale reply from an earlier request; drop it.
+            if acked:
+                self._unsynced.clear()
+                return
+            self._failover()
+        raise RuntimeError(
+            f"rank {self.ctx.rank}: could not sync with any Rocpanda server"
+        )
 
     def _shutdown_sender(self):
         """Generator: drain pending sends and join the background sender."""
@@ -274,6 +483,10 @@ class RocpandaModule(ServiceModule):
             return
         self._finalized = True
         yield from self._shutdown_sender()
+        if self._faults is not None:
+            yield from self._deliver_pending()
+            if self._faults.is_dead(self._server):
+                self._failover()
         yield from self.topo.world.send(
-            Shutdown(), dest=self.topo.my_server, tag=TAG_CTRL
+            Shutdown(), dest=self._server, tag=TAG_CTRL
         )

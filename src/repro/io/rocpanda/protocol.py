@@ -74,12 +74,20 @@ class BlockEnvelope:
 
 @dataclass(frozen=True)
 class SyncRequest:
-    """Client asks: tell me when everything I sent is on disk."""
+    """Client asks: tell me when everything I sent is on disk.
+
+    ``seq`` pairs requests with replies so a client that re-sends a
+    request (reply lost / server slow) can discard stale replies.
+    """
+
+    seq: int = 0
 
 
 @dataclass(frozen=True)
 class SyncReply:
     """Server: all output affecting this client is on disk."""
+
+    seq: int = 0
 
 
 @dataclass(frozen=True)

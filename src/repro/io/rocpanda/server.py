@@ -27,6 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ...des import Interrupt
+from ...faults.retry import RetryPolicy, retrying
+from ...shdf.codec import TornFileError
 from ...shdf.drivers import HDFDriver, hdf4_driver
 from ...shdf.file import SHDFReader, SHDFWriter
 from ...vmpi.datatypes import ANY_SOURCE, ANY_TAG
@@ -45,7 +48,7 @@ from .protocol import (
     SyncRequest,
     WriteBegin,
 )
-from .topology import Topology
+from .topology import Topology, clients_of, failover_server
 
 __all__ = ["ServerConfig", "ServerStats", "PandaServer", "server_file_path"]
 
@@ -76,6 +79,8 @@ class ServerConfig:
     #: ``server_busy_fraction`` while actively writing vs while idle.
     busy_fraction_writing: float = 0.95
     busy_fraction_idle: float = 0.05
+    #: Backoff schedule for transient write faults (EIO, disk-full).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -91,6 +96,11 @@ class ServerStats:
     background_write_time: float = 0.0
     restart_blocks_sent: int = 0
     peak_buffered_bytes: int = 0
+    #: Resilience accounting.
+    crashed: bool = False
+    write_retries: int = 0
+    duplicate_blocks_dropped: int = 0
+    torn_files_skipped: int = 0
 
 
 class _PathState:
@@ -104,6 +114,7 @@ class _PathState:
         "received",
         "written",
         "opened",
+        "seen",
     )
 
     def __init__(self):
@@ -114,6 +125,9 @@ class _PathState:
         self.received = 0
         self.written = 0
         self.opened = False
+        #: (client, block_id) pairs already ingested — duplicate
+        #: suppression for retried sends and duplicated messages.
+        self.seen: set = set()
 
 
 class PandaServer:
@@ -129,16 +143,45 @@ class PandaServer:
         #: FIFO of (path, DataBlock) awaiting background write.
         self._queue: List[Tuple[str, DataBlock]] = []
         self._buffered_bytes = 0
-        self._shutdowns = 0
-        self._sync_waiters: List[int] = []
+        self._shutdown_ranks: set = set()
+        self._sync_waiters: List[Tuple[int, int]] = []
         self._restart_requests: Dict[str, Dict[int, RestartRequest]] = {}
+        self._faults = getattr(ctx.machine, "faults", None)
+        #: Reused by _expected_clients when no injector is installed
+        #: (frozen: the membership can only change under faults).
+        self._clients_nofault = frozenset(topo.my_clients)
+        #: path -> number of times the path was retired; a later
+        #: re-announcement (a failed-over client re-shipping) writes a
+        #: new generation file instead of truncating the committed one.
+        self._file_gens: Dict[str, int] = {}
 
     # -- main loop -------------------------------------------------------
     def run(self):
-        """Generator: serve until every client has sent Shutdown."""
+        """Generator: serve until every client has sent Shutdown.
+
+        An injected crash (:class:`~repro.des.Interrupt`) abandons open
+        writers without their commit footers — their files are
+        detectably torn and the restart scan skips them — and returns
+        with ``stats.crashed`` set.
+        """
+        try:
+            result = yield from self._serve()
+            return result
+        except Interrupt as exc:
+            self.stats.crashed = True
+            self.ctx.trace("panda-server", f"crashed: {exc.cause}")
+            rec = self.ctx.recorder
+            if rec is not None:
+                rec.record_counter("rocpanda", "server_crashes")
+                rec.log_event(
+                    self.ctx.now, "fault", self.ctx.rank,
+                    f"server rank {self.ctx.rank} crashed: {exc.cause}",
+                )
+            return self.stats
+
+    def _serve(self):
         ctx = self.ctx
         world = self.topo.world
-        nclients = len(self.topo.my_clients)
         ctx.trace("panda-server", f"serving clients {self.topo.my_clients}")
         while True:
             if self._queue:
@@ -149,7 +192,7 @@ class PandaServer:
                     yield from self._handle_one(status)
                 else:
                     yield from self._write_one_block()
-            elif self._shutdowns >= nclients:
+            elif self._expected_clients() <= self._shutdown_ranks:
                 break
             else:
                 # Nothing to write: block in probe; the CPU is idle and
@@ -163,6 +206,36 @@ class PandaServer:
         ctx.trace("panda-server", "shutdown complete")
         return self.stats
 
+    def _expected_clients(self) -> set:
+        """World ranks whose data (and Shutdown) this server must see.
+
+        Without fault injection this is exactly ``my_clients``.  With
+        faults it additionally adopts the clients of every dead server
+        whose deterministic failover target (:func:`failover_server`)
+        is this rank — the same pure rule the clients evaluate, so both
+        sides agree without coordination.
+        """
+        faults = self._faults
+        if faults is None:
+            return self._clients_nofault
+        expected = set(self.topo.my_clients)
+        servers = self.topo.servers
+        for dead in faults.dead_ranks():
+            expected.discard(dead)
+            if dead not in servers or dead == self.ctx.rank:
+                continue
+            try:
+                heir = failover_server(dead, servers, faults.is_dead)
+            except RuntimeError:
+                continue
+            if heir == self.ctx.rank:
+                expected.update(
+                    r
+                    for r in clients_of(dead, servers, self.topo.nprocs)
+                    if not faults.is_dead(r)
+                )
+        return expected
+
     # -- message handling ---------------------------------------------------
     def _handle_one(self, status):
         world = self.topo.world
@@ -172,11 +245,11 @@ class PandaServer:
         elif isinstance(msg, BlockEnvelope):
             yield from self._on_block(st.source, msg)
         elif isinstance(msg, SyncRequest):
-            self._sync_waiters.append(st.source)
+            self._sync_waiters.append((st.source, msg.seq))
         elif isinstance(msg, RestartRequest):
             yield from self._on_restart_request(st.source, msg)
         elif isinstance(msg, Shutdown):
-            self._shutdowns += 1
+            self._shutdown_ranks.add(st.source)
         else:
             raise TypeError(f"server got unexpected message {type(msg).__name__}")
 
@@ -186,7 +259,10 @@ class PandaServer:
         state.expected[client] = msg.nblocks
         if not state.opened:
             state.opened = True
+            gen = self._file_gens.get(msg.path, 0)
             file_path = server_file_path(msg.path, self.server_index)
+            if gen:
+                file_path = f"{msg.path}_s{self.server_index:04d}g{gen}.shdf"
             state.writer = SHDFWriter(
                 self.ctx.env,
                 self.ctx.fs,
@@ -215,6 +291,18 @@ class PandaServer:
                 f"client {client} for path {msg.path!r} without a preceding "
                 f"WriteBegin"
             )
+        key = (client, block.block_id)
+        if key in state.seen:
+            # A resend whose first copy also arrived (duplicated message
+            # or a retried send that was in fact delivered): drop it, or
+            # the writer would emit duplicate dataset names.
+            self.stats.duplicate_blocks_dropped += 1
+            if self.ctx.recorder is not None:
+                self.ctx.recorder.record_counter(
+                    "rocpanda", "duplicate_blocks_dropped"
+                )
+            return
+        state.seen.add(key)
         state.received += 1
         if not cfg.active_buffering:
             self.ctx.io_record(
@@ -235,6 +323,8 @@ class PandaServer:
             # Graceful overflow: write previously buffered data out to
             # make room for incoming data (§6.1).
             self.stats.overflow_flushes += 1
+            if self.ctx.recorder is not None:
+                self.ctx.recorder.record_counter("rocpanda", "overflow_flushes")
             while self._queue and self._buffered_bytes + nbytes > cfg.buffer_bytes:
                 yield from self._write_one_block()
         self._queue.append((msg.path, block))
@@ -250,17 +340,51 @@ class PandaServer:
         yield from self._write_block(path, block)
         yield from self._close_finished_paths()
 
+    def _note_write_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats.write_retries += 1
+        if self.ctx.recorder is not None:
+            self.ctx.recorder.record_counter("rocpanda", "write_retries")
+        self.ctx.trace("panda-server", f"write fault ({exc}); retry {attempt + 1}")
+
     def _write_block(self, path: str, block: DataBlock):
         cpu = self.ctx.cpu
         cpu.server_busy_fraction = self.config.busy_fraction_writing
         t0 = self.ctx.now
         state = self._paths[path]
-        if not state.writer.is_open and state.writer.ndatasets == 0:
-            yield from state.writer.open(file_attrs=getattr(state, "writer_attrs", {}))
+        datasets = block_to_datasets(block)
+        if self._faults is None:
+            # No injector installed: the VFS cannot raise, so skip the
+            # retry scaffolding (hot path — one call per buffered block).
+            opened = False
+            if not state.writer.is_open and state.writer.ndatasets == 0:
+                yield from state.writer.open(file_attrs=state.writer_attrs)
+                opened = True
+            for dataset in datasets:
+                yield from state.writer.write_dataset(dataset)
+                self.stats.bytes_written += dataset.nbytes
+        else:
+            # Progress survives a faulted attempt: the VFS raises before
+            # mutating anything, so already-appended datasets stay valid
+            # and a retry resumes at the dataset that faulted.
+            progress = {"i": 0, "opened": False}
+
+            def attempt():
+                if not state.writer.is_open and state.writer.ndatasets == 0:
+                    yield from state.writer.open(file_attrs=state.writer_attrs)
+                    progress["opened"] = True
+                while progress["i"] < len(datasets):
+                    dataset = datasets[progress["i"]]
+                    yield from state.writer.write_dataset(dataset)
+                    progress["i"] += 1
+                    self.stats.bytes_written += dataset.nbytes
+
+            yield from retrying(
+                self.ctx.env, self.config.retry, attempt,
+                on_retry=self._note_write_retry,
+            )
+            opened = progress["opened"]
+        if opened:
             self.stats.files_created += 1
-        for dataset in block_to_datasets(block):
-            yield from state.writer.write_dataset(dataset)
-            self.stats.bytes_written += dataset.nbytes
         state.written += 1
         self.stats.blocks_written += 1
         self.stats.background_write_time += self.ctx.now - t0
@@ -272,9 +396,9 @@ class PandaServer:
 
     def _close_finished_paths(self, force: bool = False):
         """Generator: close and retire every fully-written output file."""
-        nclients = len(self.topo.my_clients)
+        expected_clients = self._expected_clients()
         for path, state in list(self._paths.items()):
-            announced = len(state.begun) == nclients
+            announced = expected_clients <= state.begun
             all_expected = sum(state.expected.values()) if announced else None
             complete = (
                 announced
@@ -283,8 +407,18 @@ class PandaServer:
             )
             if complete or (force and state.opened):
                 if state.writer is not None and state.writer.is_open:
-                    yield from state.writer.close()
+                    if self._faults is None:
+                        yield from state.writer.close()
+                    else:
+                        yield from retrying(
+                            self.ctx.env,
+                            self.config.retry,
+                            state.writer.close,
+                            on_retry=self._note_write_retry,
+                        )
                 del self._paths[path]
+                if self._faults is not None:
+                    self._file_gens[path] = self._file_gens.get(path, 0) + 1
 
     def _answer_sync_waiters(self) -> None:
         if not self._sync_waiters:
@@ -293,10 +427,10 @@ class PandaServer:
             return
         waiters, self._sync_waiters = self._sync_waiters, []
         world = self.topo.world
-        for client in waiters:
-            # Eager-sized reply; fire-and-forget.
+        for client, seq in waiters:
+            # Eager-sized reply echoing the request's seq; fire-and-forget.
             self.ctx.env.process(
-                world.send(SyncReply(), dest=client, tag=TAG_REPLY),
+                world.send(SyncReply(seq), dest=client, tag=TAG_REPLY),
                 name="panda-sync-reply",
             )
 
@@ -304,7 +438,7 @@ class PandaServer:
     def _on_restart_request(self, client: int, msg: RestartRequest):
         bucket = self._restart_requests.setdefault(msg.prefix, {})
         bucket[client] = msg
-        if len(bucket) == len(self.topo.my_clients):
+        if len(bucket) >= len(self._expected_clients()):
             yield from self._do_restart(msg.prefix)
             del self._restart_requests[msg.prefix]
 
@@ -342,7 +476,21 @@ class PandaServer:
                 ctx.env, ctx.fs, file_path, self.config.driver, node=ctx.node,
                 recorder=ctx.recorder, rank=ctx.rank,
             )
-            yield from reader.open()
+            try:
+                yield from reader.open()
+            except TornFileError as exc:
+                # The writing server crashed mid-snapshot: the file has
+                # no commit footer.  Skip it; its blocks come from the
+                # survivor that adopted the dead server's clients.
+                self.stats.torn_files_skipped += 1
+                if ctx.recorder is not None:
+                    ctx.recorder.record_counter("rocpanda", "torn_files_skipped")
+                    ctx.recorder.log_event(
+                        ctx.now, "fault", ctx.rank,
+                        f"skipping torn restart file {file_path}: {exc}",
+                    )
+                ctx.trace("panda-server", f"skipping torn file {file_path}")
+                continue
             # Scan through the file, find requested data blocks, send
             # them to the appropriate clients (§4.1).
             datasets = yield from reader.read_all()

@@ -22,7 +22,13 @@ from typing import List, Optional, Tuple
 
 from ...cluster.node import ROLE_SERVER
 
-__all__ = ["Topology", "server_ranks", "rocpanda_init"]
+__all__ = [
+    "Topology",
+    "server_ranks",
+    "rocpanda_init",
+    "clients_of",
+    "failover_server",
+]
 
 
 def server_ranks(nprocs: int, nservers: int) -> List[int]:
@@ -32,6 +38,38 @@ def server_ranks(nprocs: int, nservers: int) -> List[int]:
     stride = nprocs // nservers
     ranks = [i * stride for i in range(nservers)]
     return ranks
+
+
+def clients_of(server: int, servers: Tuple[int, ...], nprocs: int) -> Tuple[int, ...]:
+    """Client world-ranks assigned to ``server`` (mirrors ``_plan``).
+
+    Each server serves the non-server ranks between itself and the next
+    server; trailing ranks belong to the last server.  Pure function of
+    the layout, so survivors can compute a dead peer's client set.
+    """
+    ordered = sorted(servers)
+    i = ordered.index(server)
+    end = ordered[i + 1] if i + 1 < len(ordered) else nprocs
+    sset = set(ordered)
+    return tuple(r for r in range(server + 1, end) if r not in sset)
+
+
+def failover_server(dead: int, servers: Tuple[int, ...], is_dead) -> int:
+    """Deterministic replacement for a dead server: next alive in ring.
+
+    Every surviving rank evaluates the same pure rule — the dead
+    server's position in the sorted server list walks forward (with
+    wrap-around) until a server for which ``is_dead(rank)`` is false is
+    found — so clients and adopting servers agree without coordination.
+    Raises RuntimeError when no server survives.
+    """
+    ordered = sorted(servers)
+    start = ordered.index(dead)
+    for step in range(1, len(ordered) + 1):
+        candidate = ordered[(start + step) % len(ordered)]
+        if not is_dead(candidate):
+            return candidate
+    raise RuntimeError("no surviving Rocpanda server to fail over to")
 
 
 @dataclass

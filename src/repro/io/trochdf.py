@@ -18,15 +18,29 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..des import Event, Store
+from ..faults.retry import RetryPolicy
+from ..fs.vfs import WriteFaultError
 from ..shdf.drivers import HDFDriver
 from ..shdf.file import SHDFWriter
 from ..vthread import VThread
-from .base import DataBlock, IOStats, block_to_datasets, collect_blocks
+from .base import DataBlock, collect_blocks
 from .rochdf import RochdfModule, snapshot_file_path
 
-__all__ = ["TRochdfModule"]
+__all__ = ["TRochdfModule", "BackgroundWriteError"]
 
 _SHUTDOWN = object()
+
+
+class BackgroundWriteError(RuntimeError):
+    """Unrecoverable write faults hit by the background I/O thread.
+
+    The thread itself must not die silently (the main thread would wait
+    on ``sync`` forever believing its data safe); instead it completes
+    the job's ``done`` event and parks the failure here, and the *next*
+    ``sync`` (or snapshot boundary, or unload) raises this on the main
+    thread.  The partial file carries no commit footer, so restart
+    readers detect it as torn.
+    """
 
 
 class _WriteJob:
@@ -52,12 +66,20 @@ class TRochdfModule(RochdfModule):
 
     name = "trochdf"
 
-    def __init__(self, ctx, driver: Optional[HDFDriver] = None):
-        super().__init__(ctx, driver)
+    def __init__(
+        self,
+        ctx,
+        driver: Optional[HDFDriver] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        super().__init__(ctx, driver, retry)
         self._queue: Store = Store(ctx.env)
         self._pending: List[Event] = []
         self._current_snapshot: Optional[Any] = None
         self._thread: Optional[VThread] = None
+        #: (file_path, exception) pairs from failed background writes,
+        #: surfaced to the main thread by :meth:`_raise_io_errors`.
+        self._io_errors: List[tuple] = []
 
     # -- module lifecycle ----------------------------------------------------
     def load(self, com) -> None:
@@ -84,10 +106,11 @@ class TRochdfModule(RochdfModule):
         thread = self._thread
         if thread is not None and thread.alive:
             self._queue.put(_SHUTDOWN)
-            yield from self._drain()
+            yield from self._drain(raise_errors=False)
             yield from thread.join()
         self._thread = None
         super().unload(com)
+        self._raise_io_errors()
 
     # -- uniform I/O interface ---------------------------------------------------
     def write_attribute(
@@ -152,11 +175,22 @@ class TRochdfModule(RochdfModule):
         self.ctx.io_record(self.name, "sync", t_start=t0)
 
     # -- internals ---------------------------------------------------------------
-    def _drain(self):
+    def _drain(self, raise_errors: bool = True):
         pending, self._pending = self._pending, []
         for done in pending:
             yield done
         self._current_snapshot = None
+        if raise_errors:
+            self._raise_io_errors()
+
+    def _raise_io_errors(self) -> None:
+        if not self._io_errors:
+            return
+        errors, self._io_errors = self._io_errors, []
+        raise BackgroundWriteError(
+            "background I/O thread hit unrecoverable write faults: "
+            + "; ".join(f"{path}: {exc}" for path, exc in errors)
+        )
 
     def _io_thread_main(self):
         """The persistent background writer loop."""
@@ -166,22 +200,23 @@ class TRochdfModule(RochdfModule):
             if job is _SHUTDOWN:
                 return
             t0 = ctx.now
-            nbytes = 0
             file_path = snapshot_file_path(job.path, ctx.rank)
             writer = SHDFWriter(
                 ctx.env, ctx.fs, file_path, self.driver, node=ctx.node,
                 recorder=ctx.recorder, rank=ctx.rank, visible=False,
             )
-            yield from writer.open(
-                file_attrs=dict(job.file_attrs, writer_rank=ctx.rank)
-            )
-            for block in job.blocks:
-                for dataset in block_to_datasets(block):
-                    yield from writer.write_dataset(dataset)
-                    self.stats.bytes_written += dataset.nbytes
-                    nbytes += dataset.nbytes
-                self.stats.blocks_written += 1
-            yield from writer.close()
+            try:
+                nbytes = yield from self._write_file(
+                    writer, job.blocks, dict(job.file_attrs, writer_rank=ctx.rank)
+                )
+            except WriteFaultError as exc:
+                # Report to the main thread at its next sync; don't die.
+                self._io_errors.append((file_path, exc))
+                if ctx.recorder is not None:
+                    ctx.recorder.record_counter(self.name, "background_write_failures")
+                ctx.trace("trochdf", f"background write of {file_path} FAILED: {exc}")
+                job.done.succeed()
+                continue
             self.stats.files_created += 1
             job.done.succeed()
             ctx.io_record(

@@ -86,6 +86,10 @@ def summary_payload(recorder: Recorder, include_records: bool = False) -> Dict:
         "modules": modules,
         "phases": phase_rollup(recorder.io_records),
         "comm": recorder.comm.as_dict(),
+        "counters": {
+            module: dict(sorted(bucket.items()))
+            for module, bucket in sorted(recorder.counters.items())
+        },
     }
     if include_records:
         payload["records"] = records_to_dicts(recorder.io_records)

@@ -187,6 +187,10 @@ class Recorder:
         #: Legacy free-form event stream (what ``Tracer`` shims onto).
         self.events: List[TraceRecord] = []
         self.comm = CommCounters()
+        #: Named counters per module: ``{"rocpanda": {"retries": 3}}``.
+        #: Fed by resilience code (retry/failover/overflow) and the
+        #: fault injector; rolled up by :func:`summary_payload`.
+        self.counters: Dict[str, Dict[str, float]] = {}
 
     # -- I/O records ----------------------------------------------------
     def record_io(
@@ -237,6 +241,14 @@ class Recorder:
         if not self.enabled:
             return
         self.events.append(TraceRecord(time, category, rank, message))
+
+    # -- counters --------------------------------------------------------
+    def record_counter(self, module: str, name: str, value: float = 1) -> None:
+        """Bump the named counter for ``module`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        bucket = self.counters.setdefault(module, {})
+        bucket[name] = bucket.get(name, 0) + value
 
     # -- comm hooks ------------------------------------------------------
     def count_send(self, src: int, dst: int, nbytes: int, eager: bool) -> None:

@@ -14,9 +14,12 @@ from .codec_v2 import (
     read_index,
 )
 from .codec import (
+    JOURNAL_ATTR,
     CodecError,
+    TornFileError,
     decode_file,
     decode_header,
+    encode_commit_footer,
     encode_dataset,
     encode_file,
     encode_header,
@@ -30,6 +33,9 @@ __all__ = [
     "Dataset",
     "FileImage",
     "CodecError",
+    "TornFileError",
+    "JOURNAL_ATTR",
+    "encode_commit_footer",
     "encode_file",
     "decode_file",
     "encode_header",

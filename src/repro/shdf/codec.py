@@ -39,9 +39,12 @@ from .model import Dataset, FileImage
 
 __all__ = [
     "CodecError",
+    "TornFileError",
+    "JOURNAL_ATTR",
     "encode_header",
     "encode_dataset",
     "encode_file",
+    "encode_commit_footer",
     "decode_file",
     "decode_header",
     "iter_records",
@@ -50,6 +53,18 @@ __all__ = [
 FILE_MAGIC = b"SHDF"
 RECORD_MAGIC = b"DSET"
 VERSION = 1
+
+#: v1 atomic-commit footer: magic + u64 dataset count (12 bytes).  A
+#: journaled writer appends it as the final act of ``close``; its
+#: absence marks the file as torn.  (v2 files use their index+"SEND"
+#: footer as the commit instead.)
+COMMIT_MAGIC = b"SEOF"
+COMMIT_SIZE = 12
+
+#: File attribute injected by journaled writers.  Readers hitting a
+#: file that carries it but lacks a valid commit raise
+#: :class:`TornFileError` instead of decoding a partial snapshot.
+JOURNAL_ATTR = "_shdf_journal"
 
 _TAG_NONE = 0
 _TAG_BOOL = 1
@@ -79,6 +94,14 @@ _DIMS = {n: struct.Struct(f"<{n}Q") for n in range(1, 9)}
 
 class CodecError(ValueError):
     """Raised on malformed SHDF bytes or unencodable values."""
+
+
+class TornFileError(CodecError):
+    """A journaled SHDF file is missing its commit (crash mid-write).
+
+    The restart path treats these files as absent and falls back to the
+    previous good snapshot instead of decoding garbage.
+    """
 
 
 # -- low-level pieces -------------------------------------------------------
@@ -315,6 +338,11 @@ def encode_file(image: FileImage) -> bytes:
     return bytes(out)
 
 
+def encode_commit_footer(ndatasets: int) -> bytes:
+    """v1 atomic-commit footer (12 bytes: magic + u64 dataset count)."""
+    return COMMIT_MAGIC + _U64.pack(ndatasets)
+
+
 def decode_header(buf: bytes) -> Tuple[dict, int, int]:
     """Decode the header; returns (file_attrs, offset_after_header, version).
 
@@ -350,14 +378,28 @@ def iter_records(buf: bytes, copy: bool = False) -> Iterator[Dataset]:
 
     Works for both versions: a v2 file's records are scanned
     sequentially up to its index block.  Yields read-only zero-copy
-    views of ``buf`` unless ``copy=True``.
+    views of ``buf`` unless ``copy=True``.  A buffer cut mid-record or
+    carrying garbage where a record should start raises
+    :class:`CodecError` — a short read must never look like a short
+    file.
     """
+    from .codec_v2 import INDEX_MAGIC
+
     _attrs, pos, _version = decode_header(buf)
     reader = _Reader(buf, pos)
+    nbuf = len(buf)
     while not reader.exhausted:
-        if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
-            break  # v2 index/footer reached
-        yield _decode_record(reader, copy)
+        chunk = buf[reader.pos : reader.pos + 4]
+        if chunk == RECORD_MAGIC:
+            yield _decode_record(reader, copy)
+        elif chunk == INDEX_MAGIC:
+            break  # v2 index reached
+        elif chunk == COMMIT_MAGIC and reader.pos == nbuf - COMMIT_SIZE:
+            break  # v1 commit footer
+        else:
+            raise CodecError(
+                f"truncated or corrupt SHDF record at offset {reader.pos}"
+            )
 
 
 def decode_file(buf: bytes, copy: bool = False) -> FileImage:
@@ -367,24 +409,58 @@ def decode_file(buf: bytes, copy: bool = False) -> FileImage:
     through the dataset index (falling back to a scan when the index
     is missing, e.g. an unclosed file).
 
+    Corruption handling: a buffer cut mid-record (or mid-magic) raises
+    :class:`CodecError`; a *journaled* file (one whose writer promised
+    a commit — see :data:`JOURNAL_ATTR`) missing its commit raises
+    :class:`TornFileError`, the signal the restart path uses to skip a
+    crash-torn snapshot.
+
     Dataset arrays are **read-only views** of ``buf`` by default;
     callers that mutate them in place (the restart path) must pass
     ``copy=True`` for private writable copies.
     """
     attrs, pos, version = decode_header(buf)
+    journaled = bool(attrs.get(JOURNAL_ATTR))
     if version == 2:
         from .codec_v2 import decode_file_v2, read_index
 
         try:
             read_index(buf)
-        except CodecError:
-            pass  # unclosed v2 file: sequential fallback below
+        except TornFileError:
+            raise
+        except CodecError as exc:
+            if journaled:
+                raise TornFileError(
+                    f"torn v2 SHDF file (no committed index): {exc}"
+                ) from exc
+            # unclosed, non-journaled v2 file: sequential fallback below
         else:
             return decode_file_v2(buf, copy=copy)
+    from .codec_v2 import INDEX_MAGIC
+
     image = FileImage(attrs)
     reader = _Reader(buf, pos)
+    nbuf = len(buf)
+    committed = None
     while not reader.exhausted:
-        if buf[reader.pos : reader.pos + 4] != RECORD_MAGIC:
+        chunk = buf[reader.pos : reader.pos + 4]
+        if chunk == RECORD_MAGIC:
+            image.add(_decode_record(reader, copy))
+        elif chunk == COMMIT_MAGIC and reader.pos == nbuf - COMMIT_SIZE:
+            committed = _U64.unpack_from(buf, reader.pos + 4)[0]
             break
-        image.add(_decode_record(reader, copy))
+        elif version == 2 and chunk == INDEX_MAGIC:
+            break  # torn index region of a non-journaled v2 file
+        else:
+            raise CodecError(
+                f"truncated or corrupt SHDF record at offset {reader.pos}"
+            )
+    if journaled and version == 1:
+        if committed is None:
+            raise TornFileError("torn v1 SHDF file (missing commit footer)")
+        if committed != len(image):
+            raise TornFileError(
+                f"torn v1 SHDF file (commit says {committed} datasets, "
+                f"found {len(image)})"
+            )
     return image

@@ -15,7 +15,14 @@ import numpy as np
 
 from ..des import Environment
 from ..fs.models import FileSystemModel
-from .codec import decode_file, encode_dataset, encode_header, iter_records
+from .codec import (
+    JOURNAL_ATTR,
+    decode_file,
+    encode_commit_footer,
+    encode_dataset,
+    encode_header,
+    iter_records,
+)
 from .codec_v2 import FOOTER_SIZE, encode_header_v2, encode_index
 from .drivers import HDFDriver, hdf4_driver
 from .model import Dataset, FileImage
@@ -45,6 +52,7 @@ class SHDFWriter:
         recorder=None,
         rank: int = -1,
         visible: bool = True,
+        journal: bool = True,
     ):
         self.env = env
         self.fs = fs
@@ -57,6 +65,11 @@ class SHDFWriter:
         self._recorder = recorder
         self._rank = rank
         self._visible = visible
+        #: Atomic-commit journaling: mark the file so readers can tell a
+        #: committed snapshot from one torn by a crash mid-write.  v2
+        #: files commit via their index footer; v1 files get a 12-byte
+        #: commit footer appended at close.
+        self.journal = journal
         # Log-growth drivers (HDF5-like) default to the indexed v2
         # on-disk format; linear ones to the scan-based v1.
         if format_version is None:
@@ -103,10 +116,13 @@ class SHDFWriter:
         self._entries = []
         self._ndatasets = 0
         yield from self.fs.meta_op(self.node)
+        attrs = dict(file_attrs or {})
+        if self.journal:
+            attrs[JOURNAL_ATTR] = True
         if self.format_version == 2:
-            header = encode_header_v2(file_attrs or {})
+            header = encode_header_v2(attrs)
         else:
-            header = encode_header(file_attrs or {})
+            header = encode_header(attrs)
         yield from self.fs.write(len(header), self.node)
         self._vfile.append(header)
         self._open = True
@@ -154,6 +170,10 @@ class SHDFWriter:
             )
             yield from self.fs.write(len(tail), self.node)
             self._vfile.append(tail)
+        elif self.journal:
+            footer = encode_commit_footer(self._ndatasets)
+            yield from self.fs.write(len(footer), self.node)
+            self._vfile.append(footer)
         yield from self.fs.meta_op(self.node)
         self._open = False
         self.busy_time += self.env.now - t0
@@ -214,6 +234,9 @@ class SHDFReader:
         # copy=True: restart consumers install these arrays into Roccom
         # windows, where physics kernels mutate them in place.
         self._image = decode_file(buf, copy=True)
+        # Writer-internal markers (the journal flag) are not user attrs.
+        for key in [k for k in self._image.attrs if k.startswith("_shdf_")]:
+            del self._image.attrs[key]
         self._record("open", 0, t0)
         return self._image.attrs
 

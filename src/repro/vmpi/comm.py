@@ -135,12 +135,34 @@ class Comm:
                 self.global_rank(), self.group[dest], nbytes,
                 eager=envelope.mode == MODE_EAGER,
             )
+        # Fault-injection filter: one attribute check on the no-fault path.
+        fault = None
+        if network.fault_filter is not None:
+            fault = network.fault_decision(
+                self.global_rank(), self.group[dest], tag, nbytes
+            )
         yield env.timeout(network.spec.sw_overhead)
         if envelope.mode == MODE_EAGER:
             # Buffered: payload travels on its own; send returns now.
             # The flight rides the network's callback chain — spawning a
             # process per eager message would double the event count.
             mailbox = self._mailbox(dest)
+            if fault is not None:
+                kind, extra = fault
+                if kind == "drop":
+                    return  # lost on the wire; the sender cannot tell
+                if kind == "duplicate":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                    )
+                elif kind == "delay":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                        extra_delay=extra,
+                    )
+                    return
             network.schedule_transfer(
                 src_node, dst_node, nbytes,
                 lambda: mailbox.deliver(envelope),
@@ -149,6 +171,15 @@ class Comm:
         # Rendezvous: announce, then block until the receiver drains us.
         envelope.done_event = Event(env)
         yield from network.control_message(src_node, dst_node)
+        if fault is not None:
+            kind, extra = fault
+            if kind == "drop":
+                # Announcement lost: the receiver never sees the message
+                # and this plain send does not detect it (use
+                # ``send_with_timeout`` for loss detection).
+                return
+            if kind == "delay":
+                yield env.timeout(extra)
         self._mailbox(dest).deliver(envelope)
         yield envelope.done_event
 
@@ -166,6 +197,129 @@ class Comm:
             yield from network.control_message(dst_node, src_node)
             yield from network.transfer(src_node, dst_node, envelope.nbytes)
             envelope.done_event.succeed()
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.count_recv(self.global_rank(), envelope.nbytes)
+        yield env.timeout(network.spec.sw_overhead)
+        return envelope.payload, envelope.status()
+
+    # -- timeout-guarded point-to-point (resilience layer) -----------------
+    def send_with_timeout(self, obj: Any, dest: int, tag: int = 0, timeout: float = 0.25):
+        """Generator: send with delivery-timeout detection.
+
+        Returns one of:
+
+        * ``"ok"`` — delivered (or eager: handed to the network; eager
+          loss is undetectable at the transport and must be covered by a
+          higher-level reply timeout);
+        * ``"retracted"`` — rendezvous announcement timed out and was
+          withdrawn before the receiver matched it: the message was
+          *never seen*, so resending (possibly elsewhere) is safe;
+        * ``"stuck"`` — timed out but the receiver already consumed the
+          announcement (mid-pull, or crashed mid-pull).  The caller must
+          decide using its own liveness knowledge; receiver-side
+          duplicate suppression makes a resend safe.
+        """
+        self._check_rank(dest, "dest")
+        network = self.job.network
+        env = self.env
+        nbytes = payload_nbytes(obj)
+        src_node = self._node(self.rank)
+        dst_node = self._node(dest)
+        self._send_seq += 1
+        envelope = Envelope(
+            comm_id=self.id,
+            src=self.rank,
+            dst=dest,
+            tag=tag,
+            payload=obj,
+            nbytes=nbytes,
+            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            seq=self._send_seq,
+        )
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.count_send(
+                self.global_rank(), self.group[dest], nbytes,
+                eager=envelope.mode == MODE_EAGER,
+            )
+        fault = None
+        if network.fault_filter is not None:
+            fault = network.fault_decision(
+                self.global_rank(), self.group[dest], tag, nbytes
+            )
+        yield env.timeout(network.spec.sw_overhead)
+        if envelope.mode == MODE_EAGER:
+            mailbox = self._mailbox(dest)
+            if fault is not None:
+                kind, extra = fault
+                if kind == "drop":
+                    return "ok"
+                if kind == "duplicate":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                    )
+                elif kind == "delay":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                        extra_delay=extra,
+                    )
+                    return "ok"
+            network.schedule_transfer(
+                src_node, dst_node, nbytes,
+                lambda: mailbox.deliver(envelope),
+            )
+            return "ok"
+        envelope.done_event = Event(env)
+        yield from network.control_message(src_node, dst_node)
+        if fault is not None:
+            kind, extra = fault
+            if kind == "drop":
+                # Announcement lost: report it exactly like a timed-out,
+                # successfully-retracted send — the receiver never saw it.
+                yield env.timeout(timeout)
+                return "retracted"
+            if kind == "delay":
+                yield env.timeout(extra)
+        mailbox = self._mailbox(dest)
+        mailbox.deliver(envelope)
+        yield env.any_of([envelope.done_event, env.timeout(timeout)])
+        if envelope.done_event.triggered:
+            return "ok"
+        if mailbox.retract(envelope):
+            return "retracted"
+        return "stuck"
+
+    def recv_with_timeout(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: float = 0.25
+    ):
+        """Generator: receive, or return ``None`` after ``timeout``.
+
+        On success returns ``(payload, Status)`` exactly like
+        :meth:`recv`.  On timeout the pending match is cancelled so it
+        cannot steal a later delivery.
+        """
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        env = self.env
+        network = self.job.network
+        mailbox = self._mailbox(self.rank)
+        get_ev = mailbox.get_matching(source, tag)
+        if not get_ev.triggered:
+            yield env.any_of([get_ev, env.timeout(timeout)])
+            if not get_ev.triggered:
+                mailbox.cancel_waiter(get_ev)
+                return None
+        envelope = get_ev.value
+        if envelope.mode == MODE_RNDV:
+            src_node = self._node(envelope.src)
+            dst_node = self._node(self.rank)
+            yield from network.control_message(dst_node, src_node)
+            yield from network.transfer(src_node, dst_node, envelope.nbytes)
+            if not envelope.done_event.triggered:
+                envelope.done_event.succeed()
         recorder = self._recorder
         if recorder is not None:
             recorder.count_recv(self.global_rank(), envelope.nbytes)

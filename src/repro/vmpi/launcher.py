@@ -235,6 +235,9 @@ class Job:
         procs = [
             self.env.process(main(ctx), name=f"rank{ctx.rank}") for ctx in self.contexts
         ]
+        faults = getattr(self.machine, "faults", None)
+        if faults is not None:
+            faults.attach_job(self, procs)
         done = self.env.all_of(procs)
         try:
             self.env.run(until=done if until is None else until)

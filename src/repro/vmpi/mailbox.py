@@ -166,6 +166,40 @@ class Mailbox:
         self._nitems -= 1
         return envelope
 
+    # -- cancellation (timeout support) -----------------------------------
+    def retract(self, envelope: Envelope) -> bool:
+        """Remove a specific queued envelope; True if it was still queued.
+
+        A sender whose rendezvous timed out uses this to withdraw the
+        announcement — success proves the receiver never matched it, so
+        resending cannot duplicate the message.
+        """
+        key = (envelope.src, envelope.tag)
+        queue = self._queues.get(key)
+        if queue is None:
+            return False
+        for i, (_, queued) in enumerate(queue):
+            if queued is envelope:
+                del queue[i]
+                if not queue:
+                    del self._queues[key]
+                self._nitems -= 1
+                return True
+        return False
+
+    def cancel_waiter(self, event: Event) -> bool:
+        """Drop the pending waiter registered under ``event``.
+
+        A receiver abandoning a timed-out ``get_matching`` event must
+        cancel it — an orphaned consume-waiter would silently steal the
+        next matching delivery.
+        """
+        for i, waiter in enumerate(self._waiters):
+            if waiter.event is event:
+                del self._waiters[i]
+                return True
+        return False
+
     @property
     def items(self) -> List[Envelope]:
         """Queued envelopes in arrival order (diagnostics/compat view)."""
@@ -226,6 +260,23 @@ class LinearScanMailbox:
                 del self.items[i]
                 return envelope
         return None
+
+    # -- cancellation (timeout support) -----------------------------------
+    def retract(self, envelope: Envelope) -> bool:
+        """Remove a specific queued envelope; True if it was still queued."""
+        for i, item in enumerate(self.items):
+            if item is envelope:
+                del self.items[i]
+                return True
+        return False
+
+    def cancel_waiter(self, event: Event) -> bool:
+        """Drop the pending waiter registered under ``event``."""
+        for waiter in self._waiters:
+            if waiter.event is event:
+                self._waiters.remove(waiter)
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self.items)

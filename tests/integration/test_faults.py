@@ -1,0 +1,212 @@
+"""Integration tests: fault injection across the full I/O stack.
+
+Covers the headline recovery stories end to end: an I/O-server crash
+whose block assignments fail over to the survivor (with a
+different-server-count restart reading back bit-identical data), the
+buffer-overflow counter surfacing through the obs rollups, background
+write faults reported at the next sync, and the faultbench chaos
+matrix meeting its 100%-recovery acceptance bar.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_faultbench
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.faults import FaultPlan, RetryPolicy, ServerCrash, TransientEIO
+from repro.io import (
+    BackgroundWriteError,
+    PandaServer,
+    RocpandaModule,
+    ServerConfig,
+    TRochdfModule,
+    rocpanda_init,
+)
+from repro.obs import summary_payload
+from repro.roccom import AttributeSpec, LOC_ELEMENT, LOC_NODE, Roccom
+from repro.vmpi import run_spmd
+
+NBLOCKS = 3  # per client
+
+
+def _declare(com):
+    w = com.new_window("Fluid")
+    w.declare_attribute(AttributeSpec("coords", LOC_NODE, ncomp=3))
+    w.declare_attribute(AttributeSpec("pressure", LOC_ELEMENT))
+    return w
+
+
+def _write_main(nservers, server_config=None):
+    """Checkpoint writer: data depends only on the client rank."""
+
+    def main(ctx):
+        topo = yield from rocpanda_init(ctx, nservers)
+        if topo.is_server:
+            stats = yield from PandaServer(ctx, topo, server_config).run()
+            return ("server", stats)
+        com = Roccom(ctx)
+        panda = com.load_module(RocpandaModule(ctx, topo))
+        w = _declare(com)
+        rng = np.random.default_rng(300 + topo.comm.rank)
+        for i in range(NBLOCKS):
+            pid = topo.comm.rank * NBLOCKS + i
+            nn, ne = 1200 + i, 600 + i  # rendezvous-sized blocks
+            w.register_pane(pid, nn, ne)
+            w.set_array("coords", pid, rng.random((nn, 3)))
+            w.set_array("pressure", pid, rng.random(ne))
+        yield from ctx.sleep(0.05)  # past init: faults land mid-write
+        yield from com.call_function("OUT.write_attribute", "Fluid", None, "ck")
+        yield from com.call_function("OUT.sync")
+        yield from panda.finalize()
+        return ("client", panda.stats)
+
+    return main
+
+
+def _restart_main(nservers, per_client):
+    def main(ctx):
+        topo = yield from rocpanda_init(ctx, nservers)
+        if topo.is_server:
+            stats = yield from PandaServer(ctx, topo).run()
+            return ("server", stats)
+        com = Roccom(ctx)
+        panda = com.load_module(RocpandaModule(ctx, topo))
+        w = com.new_window("Fluid")
+        first = topo.comm.rank * per_client
+        for pid in range(first, first + per_client):
+            w.register_pane(pid, 0, 0)
+        ids = yield from com.call_function("OUT.read_attribute", "Fluid", None, "ck")
+        restored = {
+            pid: {
+                "coords": w.get_array("coords", pid).copy(),
+                "pressure": w.get_array("pressure", pid).copy(),
+            }
+            for pid in ids
+        }
+        yield from panda.finalize()
+        return ("client", restored)
+
+    return main
+
+
+def _launch(nprocs, main, plan=None, seed=0, disk=None):
+    machine = Machine(
+        make_testbox(nnodes=8, cpus_per_node=4), seed=seed, disk=disk
+    )
+    if plan is not None:
+        machine.install_faults(plan)
+    return run_spmd(machine, nprocs, main), machine
+
+
+def _checkpoint_then_restart(plan):
+    """Write 8 procs / 2 servers (under ``plan``), restart 6 / 3."""
+    result, machine = _launch(8, _write_main(2), plan=plan)
+    restart, _ = _launch(
+        6, _restart_main(3, per_client=NBLOCKS * 2), seed=1, disk=machine.disk
+    )
+    restored = {}
+    for kind, value in restart.returns:
+        if kind == "client":
+            restored.update(value)
+    return result, machine, restored
+
+
+class TestServerCrashFailover:
+    """ISSUE satellite: crash + failover + different-server-count restart."""
+
+    def test_restart_bit_identical_to_fault_free_reference(self):
+        _, _, reference = _checkpoint_then_restart(plan=None)
+        plan = FaultPlan((ServerCrash(rank=4, at_time=0.055),))
+        result, machine, restored = _checkpoint_then_restart(plan)
+
+        # The fault actually happened and was survived, not avoided.
+        assert machine.faults.is_dead(4)
+        server_stats = [s for kind, s in result.returns if kind == "server"]
+        assert any(s.crashed for s in server_stats)
+        client_stats = [s for kind, s in result.returns if kind == "client"]
+        assert sum(s.failovers for s in client_stats) >= 1
+
+        # Every block of the 18-block checkpoint came back bit-identical.
+        assert set(restored) == set(reference) == set(range(18))
+        for pid in reference:
+            for name in ("coords", "pressure"):
+                np.testing.assert_array_equal(
+                    restored[pid][name], reference[pid][name]
+                )
+
+    def test_crash_recorded_in_obs_counters(self):
+        plan = FaultPlan((ServerCrash(rank=4, at_time=0.055),))
+        result, _ = _launch(8, _write_main(2), plan=plan)
+        counters = summary_payload(result.recorder)["counters"]
+        assert counters["faults"]["server_crash"] == 1
+        assert counters["rocpanda"]["server_crashes"] == 1
+        assert counters["rocpanda"]["failovers"] >= 1
+
+
+class TestOverflowCounterExport:
+    """ISSUE satellite: overflow_flushes visible in the obs rollups."""
+
+    def test_forced_overflow_shows_in_summary_payload(self):
+        config = ServerConfig(buffer_bytes=2048)  # << one 34 KB block
+        result, _ = _launch(5, _write_main(1, server_config=config))
+        stats = next(s for kind, s in result.returns if kind == "server")
+        assert stats.overflow_flushes >= 1
+        payload = summary_payload(result.recorder)
+        assert (
+            payload["counters"]["rocpanda"]["overflow_flushes"]
+            == stats.overflow_flushes
+        )
+
+    def test_no_overflow_no_counter(self):
+        result, _ = _launch(5, _write_main(1))
+        counters = summary_payload(result.recorder)["counters"]
+        assert "overflow_flushes" not in counters.get("rocpanda", {})
+
+
+class TestBackgroundWriteFaultReporting:
+    """T-Rochdf's I/O thread must not die silently on write faults."""
+
+    def test_exhausted_retries_surface_at_next_sync(self):
+        plan = FaultPlan((TransientEIO(count=500),))  # never heals
+
+        def main(ctx):
+            com = Roccom(ctx)
+            com.load_module(
+                TRochdfModule(
+                    ctx, retry=RetryPolicy(max_attempts=2, base_delay=1e-4)
+                )
+            )
+            w = _declare(com)
+            w.register_pane(ctx.rank, 16, 8)
+            rng = np.random.default_rng(ctx.rank)
+            w.set_array("coords", ctx.rank, rng.random((16, 3)))
+            w.set_array("pressure", ctx.rank, rng.random(8))
+            yield from com.call_function("OUT.write_attribute", "Fluid", None, "bad")
+            try:
+                yield from com.call_function("OUT.sync")
+            except BackgroundWriteError as exc:
+                return ("failed", str(exc))
+            return ("ok", None)
+
+        result, _ = _launch(2, main, plan=plan)
+        assert all(kind == "failed" for kind, _ in result.returns)
+        assert all("bad" in message for _, message in result.returns)
+        counters = summary_payload(result.recorder)["counters"]
+        assert counters["trochdf"]["background_write_failures"] >= 2
+
+
+class TestChaosMatrix:
+    """ISSUE acceptance: 100% recovery, 100% determinism, full matrix."""
+
+    def test_full_matrix_recovers_and_replays(self):
+        payload = run_faultbench(skip_overhead=True)
+        failed = [
+            f"{r['scenario']}/{r['module']}"
+            for r in payload["matrix"]
+            if not (r["recovered"] and r["runs_identical"])
+        ]
+        assert not failed, f"non-recovered or non-deterministic rows: {failed}"
+        assert payload["recovery_rate"] == 1.0
+        assert payload["determinism_rate"] == 1.0
+        assert len(payload["matrix"]) >= 10

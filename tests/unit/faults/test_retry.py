@@ -1,0 +1,105 @@
+"""Unit tests for the shared retry helper (repro.faults.retry)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.faults import RetryPolicy, retrying
+from repro.fs import TransientIOError
+
+
+def _run(env, gen):
+    box = {}
+
+    def main():
+        box["result"] = yield from gen
+    env.process(main(), name="retry-test")
+    env.run()
+    return box.get("result")
+
+
+class TestRetryPolicy:
+    def test_delay_is_exponential(self):
+        p = RetryPolicy(base_delay=0.5, factor=3.0)
+        assert p.delay(0) == 0.5
+        assert p.delay(1) == 1.5
+        assert p.delay(2) == 4.5
+
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 5
+        assert p.op_timeout > 0
+
+
+class TestRetrying:
+    def _flaky(self, env, failures, log):
+        """Op factory failing the first ``failures`` attempts."""
+        budget = [failures]
+
+        def attempt():
+            log.append(env.now)
+            if budget[0] > 0:
+                budget[0] -= 1
+                raise TransientIOError("injected")
+            yield env.timeout(0.1)
+            return "done"
+
+        return attempt
+
+    def test_succeeds_after_transient_failures(self):
+        env = Environment()
+        log = []
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, factor=2.0)
+        result = _run(
+            env, retrying(env, policy, self._flaky(env, 2, log))
+        )
+        assert result == "done"
+        # Attempt starts: t=0, then after 1.0 backoff, then after 2.0.
+        assert log == [0.0, 1.0, 3.0]
+
+    def test_exhausted_attempts_reraise_last_fault(self):
+        env = Environment()
+        policy = RetryPolicy(max_attempts=3, base_delay=1e-3)
+        with pytest.raises(TransientIOError):
+            _run(env, retrying(env, policy, self._flaky(env, 99, [])))
+
+    def test_on_retry_called_per_backoff_not_per_attempt(self):
+        env = Environment()
+        calls = []
+        policy = RetryPolicy(max_attempts=5, base_delay=1e-3)
+        _run(
+            env,
+            retrying(
+                env,
+                policy,
+                self._flaky(env, 3, []),
+                on_retry=lambda attempt, exc: calls.append(attempt),
+            ),
+        )
+        assert calls == [0, 1, 2]  # 3 failures => 3 backoffs, 4th succeeds
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        env = Environment()
+        attempts = []
+
+        def attempt():
+            attempts.append(1)
+            raise KeyError("not a write fault")
+            yield  # pragma: no cover
+
+        with pytest.raises(KeyError):
+            _run(env, retrying(env, RetryPolicy(), attempt))
+        assert len(attempts) == 1
+
+    def test_fresh_generator_per_attempt(self):
+        """Each attempt calls the factory again (a raised generator is dead)."""
+        env = Environment()
+        made = []
+
+        def factory():
+            made.append(1)
+            if len(made) < 3:
+                raise TransientIOError("boom")
+            return iter(())
+
+        _run(env, retrying(env, RetryPolicy(base_delay=1e-6), factory))
+        assert len(made) == 3
