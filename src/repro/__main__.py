@@ -159,18 +159,63 @@ def cmd_demo(args) -> None:
 
 
 def cmd_perfbench(args) -> None:
+    import json
+
     from .bench.perf import (
         DEFAULT_BASELINE_PATH,
+        DEFAULT_QUICK_BASELINE_PATH,
+        check_regressions,
         load_baseline,
+        profile_stats,
         render_perf,
         run_perfbench,
     )
 
-    baseline = load_baseline(args.baseline or DEFAULT_BASELINE_PATH)
+    default_baseline = (
+        DEFAULT_QUICK_BASELINE_PATH if args.quick else DEFAULT_BASELINE_PATH
+    )
+    baseline = load_baseline(args.baseline or default_baseline)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     payload = run_perfbench(
         quick=args.quick, baseline=baseline, skip_e2e=args.skip_e2e
     )
+    if profiler is not None:
+        profiler.disable()
+        print(profile_stats(profiler, top=20))
     _emit(args, "perf.txt", render_perf(payload), payload=payload)
+    # The repo-root copy is the committed before/after record tracked
+    # PR-over-PR (alongside bench_results/BENCH_perf.json); quick runs
+    # measure reduced workloads and must not overwrite it.
+    if not args.quick:
+        with open("BENCH_perf.json", "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("[saved to BENCH_perf.json]")
+    if args.max_regression is not None:
+        if profiler is not None:
+            # cProfile's tracing overhead lands inside every timed
+            # region; rates measured under it cannot be compared to an
+            # unprofiled baseline.
+            print("[--profile active: skipping regression gate]")
+            return
+        if "speedup_vs_baseline" not in payload:
+            print("[no size-matched baseline: skipping regression gate]")
+            return
+        regressed = check_regressions(payload, args.max_regression)
+        if regressed:
+            floor = 1.0 - args.max_regression
+            for name, speedup in regressed:
+                print(
+                    f"REGRESSION: {name} at {speedup}x baseline "
+                    f"(floor {floor:.2f}x)", file=sys.stderr,
+                )
+            sys.exit(1)
+        print(f"[no micro below {1.0 - args.max_regression:.2f}x baseline]")
 
 
 def cmd_faultbench(args) -> None:
@@ -281,6 +326,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--skip-e2e", action="store_true",
         help="skip the end-to-end table1(64p) wall-clock run",
+    )
+    perf.add_argument(
+        "--profile", action="store_true",
+        help="run the suite under cProfile and print the top-20 "
+             "cumulative-time entries",
+    )
+    perf.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRAC",
+        help="fail (exit 1) if any microbenchmark is more than FRAC "
+             "slower than the committed baseline (e.g. 0.25)",
     )
     perf.set_defaults(func=cmd_perfbench)
     faults = sub.add_parser(

@@ -19,6 +19,12 @@ Benchmarks:
   the Rocpanda server pattern), again for both matchers;
 * ``codec_encode`` / ``codec_decode`` / ``codec_decode_zero_copy`` —
   SHDF codec bandwidth in MB/s;
+* ``ship_batched`` / ``ship_perblock`` — Rocpanda client→server block
+  shipping through the full stack (Roccom call, pack, vmpi flights,
+  server ingest + write), for both the two-phase batched path and the
+  per-block executable spec;
+* ``vfs_coalesce`` / ``vfs_percall`` — SHDF dataset writes through the
+  write-coalescing scheduler vs one ``fs.write`` per dataset;
 * ``table1_64p`` — one end-to-end wall-clock run of the Table 1
   experiment at 64 compute processors (the acceptance workload).
 
@@ -26,6 +32,7 @@ Benchmarks:
 supplied (normally the committed ``BENCH_perf_baseline.json`` captured
 before the matching/DES/codec optimizations), attaches per-benchmark
 speedup factors so the before/after comparison ships with the numbers.
+``check_regressions`` turns those speedups into a CI gate.
 """
 
 from __future__ import annotations
@@ -43,14 +50,25 @@ __all__ = [
     "bench_mailbox_waiters",
     "bench_vmpi_msgrate",
     "bench_codec",
+    "bench_ship",
+    "bench_vfs_coalesce",
     "bench_table1_e2e",
     "run_perfbench",
+    "profile_stats",
+    "check_regressions",
     "load_baseline",
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_QUICK_BASELINE_PATH",
 ]
 
 #: Committed pre-optimization numbers this harness compares against.
 DEFAULT_BASELINE_PATH = os.path.join("bench_results", "BENCH_perf_baseline.json")
+#: Quick-size counterpart (``--quick`` runs use smaller workloads, so
+#: size-dependent rates like codec MB/s cannot be compared to the full
+#: baseline).
+DEFAULT_QUICK_BASELINE_PATH = os.path.join(
+    "bench_results", "BENCH_perf_baseline_quick.json"
+)
 
 
 def _timed(fn: Callable[[], int]) -> Dict[str, float]:
@@ -241,6 +259,104 @@ def bench_codec(
     return out
 
 
+# -- I/O stack --------------------------------------------------------------
+
+def bench_ship(
+    nblocks: int = 24,
+    nsnapshots: int = 4,
+    cells: int = 2048,
+    batched: bool = True,
+) -> Dict[str, float]:
+    """Block shipping rate (blocks/sec) through the full Rocpanda stack.
+
+    One client streams ``nsnapshots`` snapshots of ``nblocks`` blocks at
+    one server: Roccom interface call, marshalling, vmpi flights, server
+    ingest and SHDF write all included.  ``batched`` selects two-phase
+    shipping vs the per-block executable spec — the pair quantifies the
+    aggregation win at identical virtual behaviour.
+    """
+    from ..cluster import Machine, testbox
+    from ..io import PandaServer, RocpandaModule, rocpanda_init
+    from ..roccom import AttributeSpec, LOC_ELEMENT, Roccom
+    from ..vmpi import run_spmd
+
+    rng = np.random.default_rng(11)
+    fields = [rng.random(cells) for _ in range(nblocks)]
+
+    def main(ctx):
+        topo = yield from rocpanda_init(ctx, 1)
+        if topo.is_server:
+            yield from PandaServer(ctx, topo).run()
+            return
+        com = Roccom(ctx)
+        panda = com.load_module(RocpandaModule(ctx, topo, batched=batched))
+        w = com.new_window("W")
+        w.declare_attribute(AttributeSpec("f", LOC_ELEMENT))
+        for i in range(nblocks):
+            w.register_pane(i, 0, cells)
+            w.set_array("f", i, fields[i])
+        for snap in range(nsnapshots):
+            yield from com.call_function(
+                "OUT.write_attribute", "W", None, f"ship_{snap:03d}"
+            )
+        yield from panda.finalize()
+
+    def run() -> int:
+        machine = Machine(testbox(), seed=0)
+        run_spmd(machine, 2, main)
+        return nblocks * nsnapshots
+
+    return _timed(run)
+
+
+def bench_vfs_coalesce(
+    ndatasets: int = 256, cells: int = 512, repeats: int = 4,
+    coalesce: bool = True,
+) -> Dict[str, float]:
+    """SHDF dataset write rate (datasets/sec) with and without coalescing.
+
+    ``coalesce`` routes the whole file through
+    :meth:`~repro.shdf.file.SHDFWriter.write_records` (one merged
+    VirtualDisk transfer via the write-coalescing scheduler); off, each
+    dataset pays its own ``fs.write`` — the pre-aggregation path.
+    """
+    from ..des import Environment
+    from ..fs import NFSModel
+    from ..shdf.codec import encode_dataset
+    from ..shdf.drivers import hdf4_driver
+    from ..shdf.file import SHDFWriter
+    from ..shdf.model import Dataset
+
+    rng = np.random.default_rng(13)
+    datasets = [
+        Dataset(f"W/b{i:04d}/f", rng.random(cells), {"ncomp": 1})
+        for i in range(ndatasets)
+    ]
+
+    def run() -> int:
+        env = Environment()
+        fs = NFSModel(env)
+
+        def writes():
+            for r in range(repeats):
+                writer = SHDFWriter(env, fs, f"co_{r}.shdf", hdf4_driver())
+                yield from writer.open()
+                if coalesce:
+                    yield from writer.write_records(
+                        [(d.name, encode_dataset(d), d.nbytes) for d in datasets]
+                    )
+                else:
+                    for d in datasets:
+                        yield from writer.write_dataset(d)
+                yield from writer.close()
+
+        env.process(writes(), name="writes")
+        env.run()
+        return ndatasets * repeats
+
+    return _timed(run)
+
+
 # -- end-to-end -------------------------------------------------------------
 
 def bench_table1_e2e(quick: bool = False) -> Dict[str, Any]:
@@ -300,10 +416,14 @@ def run_perfbench(
     """Run the full suite; returns the ``BENCH_perf.json`` payload."""
     if quick:
         sizes = dict(nevents=20_000, nsources=32, rounds=10, nranks=16,
-                     nmsgs=10, ndatasets=4, repeats=3)
+                     nmsgs=10, ndatasets=4, repeats=3,
+                     ship_blocks=8, ship_snaps=2, vfs_datasets=64,
+                     vfs_repeats=2)
     else:
         sizes = dict(nevents=200_000, nsources=64, rounds=60, nranks=32,
-                     nmsgs=40, ndatasets=16, repeats=8)
+                     nmsgs=40, ndatasets=16, repeats=8,
+                     ship_blocks=24, ship_snaps=4, vfs_datasets=256,
+                     vfs_repeats=4)
 
     micro: Dict[str, Any] = {}
     micro["des_events"] = bench_des_events(sizes["nevents"])
@@ -317,6 +437,13 @@ def run_perfbench(
     codec = bench_codec(ndatasets=sizes["ndatasets"], repeats=sizes["repeats"])
     for name, numbers in codec.items():
         micro[f"codec_{name}"] = numbers
+    for name, batched in (("ship_batched", True), ("ship_perblock", False)):
+        micro[name] = bench_ship(
+            sizes["ship_blocks"], sizes["ship_snaps"], batched=batched)
+    for name, coalesce in (("vfs_coalesce", True), ("vfs_percall", False)):
+        micro[name] = bench_vfs_coalesce(
+            sizes["vfs_datasets"], repeats=sizes["vfs_repeats"],
+            coalesce=coalesce)
 
     payload: Dict[str, Any] = {
         "schema": "perfbench-v1",
@@ -327,6 +454,11 @@ def run_perfbench(
     if not skip_e2e:
         payload["e2e"] = {"table1_64p": bench_table1_e2e(quick=quick)}
 
+    if baseline is not None and baseline.get("sizes") != sizes:
+        # A quick run against a full baseline (or vice versa) would
+        # compare rates measured on different workload sizes; drop the
+        # comparison rather than report phantom regressions.
+        baseline = None
     if baseline is not None:
         speedups: Dict[str, Any] = {}
         base_micro = baseline.get("micro", {})
@@ -344,6 +476,38 @@ def run_perfbench(
         payload["baseline"] = baseline
         payload["speedup_vs_baseline"] = speedups
     return payload
+
+
+def profile_stats(profiler, top: int = 20) -> str:
+    """Render a cProfile run as its top-``top`` cumulative-time lines."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def check_regressions(
+    payload: Dict[str, Any], threshold: float = 0.25
+) -> list:
+    """Micros slower than ``1 - threshold`` x the committed baseline.
+
+    Returns ``(name, speedup)`` pairs for every microbenchmark whose
+    ``speedup_vs_baseline`` entry falls below the floor (e.g. with the
+    default 0.25, anything slower than 0.75x baseline).  Empty when no
+    baseline was attached or nothing regressed.  The end-to-end wall
+    number is excluded: it is the *acceptance* metric, judged on its
+    own target, and too noisy for a hard per-run gate at quick sizes.
+    """
+    speedups = payload.get("speedup_vs_baseline", {})
+    floor = 1.0 - threshold
+    return [
+        (name, s)
+        for name, s in sorted(speedups.items())
+        if name != "table1_64p_wall" and s is not None and s < floor
+    ]
 
 
 def render_perf(payload: Dict[str, Any]) -> str:

@@ -1,5 +1,6 @@
 """Filesystem substrate: real-byte virtual disk + timing models."""
 
+from .coalesce import WriteCoalescer
 from .models import (
     FileSystemModel,
     FSMetrics,
@@ -30,4 +31,5 @@ __all__ = [
     "NFSModel",
     "GPFSModel",
     "LocalFSModel",
+    "WriteCoalescer",
 ]

@@ -75,6 +75,21 @@ class FileSystemModel:
         self.metrics.meta_ops += 1
         yield from self._service_meta(node)
 
+    def meta_ops_bulk(self, count: int, node=None):
+        """Charge ``count`` metadata round trips as one batched event.
+
+        Virtual time equals ``count`` sequential :meth:`meta_op` calls
+        (every model's metadata service is a flat per-op latency), but
+        the DES processes a single timeout instead of ``count`` event
+        chains — the wall-clock half of write coalescing.
+        """
+        if count < 0:
+            raise ValueError("negative meta op count")
+        if count == 0:
+            return
+        self.metrics.meta_ops += count
+        yield from self._service_meta_bulk(count, node)
+
     def write(self, nbytes: int, node=None):
         """Charge the time for writing ``nbytes`` through this filesystem."""
         if nbytes < 0:
@@ -98,6 +113,20 @@ class FileSystemModel:
     # -- hooks -----------------------------------------------------------
     def _service_meta(self, node):
         raise NotImplementedError
+
+    def _service_meta_bulk(self, count: int, node):
+        """Batched metadata service: one timeout for ``count`` ops.
+
+        All bundled models charge a flat ``meta_latency`` per op, so the
+        batched total is exact; a subclass with contended metadata can
+        override this (the fallback loops ``_service_meta``).
+        """
+        latency = getattr(self, "meta_latency", None)
+        if latency is not None:
+            yield self.env.timeout(count * latency)
+        else:
+            for _ in range(count):
+                yield from self._service_meta(node)
 
     def _service_write(self, nbytes: int, node):
         raise NotImplementedError

@@ -78,6 +78,23 @@ class VirtualFile:
             self.disk._used += len(data)
         return offset
 
+    def append_many(self, chunks) -> int:
+        """Append several chunks as one transfer; returns the first offset.
+
+        The fault/capacity check covers the *combined* size and runs
+        before any chunk lands, so a coalesced write preserves the
+        raise-before-mutate guarantee at batch granularity: either every
+        chunk is appended or the file is untouched.
+        """
+        total = sum(len(c) for c in chunks)
+        self._check_write(total)
+        offset = len(self._data)
+        for chunk in chunks:
+            self._data.extend(chunk)
+        if self.disk is not None:
+            self.disk._used += total
+        return offset
+
     def write_at(self, offset: int, data: bytes) -> None:
         if offset < 0:
             raise ValueError("negative offset")

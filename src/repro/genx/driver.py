@@ -53,6 +53,10 @@ class GENxConfig:
     #: Full active-buffering hierarchy ([13]): buffer on the clients
     #: too, shipping to servers from a background sender thread.
     client_buffering: bool = False
+    #: Two-phase shipping: aggregate each snapshot's blocks into one
+    #: pre-encoded batch per server (off = per-block executable spec;
+    #: fault-free virtual time is bit-identical either way).
+    batched_shipping: bool = True
     prefix: str = "genx"
     #: Restart: read state written at this step of ``restart_prefix``.
     restart_step: Optional[int] = None
@@ -177,6 +181,7 @@ def genx_main(config: GENxConfig):
                 pack_overhead=pack[0],
                 pack_bw=pack[1],
                 client_buffering=config.client_buffering,
+                batched=config.batched_shipping,
             )
         elif config.io_mode == "trochdf":
             io_module = TRochdfModule(ctx, config.driver_factory())

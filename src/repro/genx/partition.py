@@ -14,11 +14,21 @@ without affecting how I/O is done" (§4.1).
 
 from __future__ import annotations
 
+import heapq
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 from .meshblock import BlockSpec
 
 __all__ = ["partition_blocks", "assignment_stats", "migrate"]
+
+#: Memo of recent partition results, keyed by the workload fingerprint.
+#: Every rank of an SPMD job partitions the identical spec list each
+#: step, so a 64-rank run recomputes the same LPT answer 64x per
+#: (re)partition point; the memo stores *index* lists (not spec
+#: objects), so each caller still gets fresh lists over its own specs.
+_MEMO_CAP = 64
+_memo: "OrderedDict[Tuple, List[List[int]]]" = OrderedDict()
 
 
 def partition_blocks(
@@ -35,16 +45,32 @@ def partition_blocks(
         raise ValueError(
             f"cannot give {nprocs} processors at least one of {len(specs)} blocks"
         )
-    order = sorted(specs, key=lambda s: (-s.ncells, s.block_id))
-    loads = [0] * nprocs
-    out: List[List[BlockSpec]] = [[] for _ in range(nprocs)]
-    for spec in order:
-        target = min(range(nprocs), key=lambda p: (loads[p], p))
-        out[target].append(spec)
-        loads[target] += spec.ncells
-    for bucket in out:
-        bucket.sort(key=lambda s: s.block_id)
-    return out
+    key = (nprocs, tuple((s.block_id, s.ncells) for s in specs))
+    buckets = _memo.get(key)
+    if buckets is None:
+        indices = sorted(
+            range(len(specs)),
+            key=lambda i: (-specs[i].ncells, specs[i].block_id),
+        )
+        # (load, proc) heap: pops reproduce min(range(nprocs),
+        # key=lambda p: (loads[p], p)) exactly — lexicographic order on
+        # the tuples is the same tie-break.
+        heap = [(0, p) for p in range(nprocs)]
+        buckets = [[] for _ in range(nprocs)]
+        for i in indices:
+            load, target = heapq.heappop(heap)
+            buckets[target].append(i)
+            heapq.heappush(heap, (load + specs[i].ncells, target))
+        for bucket in buckets:
+            # Stable index sort == stable object sort by block_id when
+            # ids repeat: indices preserve the LPT assignment order.
+            bucket.sort(key=lambda i: specs[i].block_id)
+        _memo[key] = buckets
+        if len(_memo) > _MEMO_CAP:
+            _memo.popitem(last=False)
+    else:
+        _memo.move_to_end(key)
+    return [[specs[i] for i in bucket] for bucket in buckets]
 
 
 def assignment_stats(assignment: List[List[BlockSpec]]) -> Dict[str, float]:

@@ -18,7 +18,45 @@ from ...roccom.attribute import AttributeSpec
 from ...roccom.registry import Roccom
 from ..meshblock import BlockSpec, MeshBlock, build_block
 
-__all__ = ["PhysicsModule"]
+__all__ = ["PhysicsModule", "fastmean", "rolled"]
+
+
+def fastmean(a: np.ndarray) -> float:
+    """``a.mean()`` for 1-D arrays without the ufunc-dispatch overhead.
+
+    ``ndarray.mean`` routes through ``np.add.reduce`` (same pairwise
+    summation) and divides by the count, so this is bitwise identical
+    for 1-D float arrays while skipping the ``_methods._mean`` wrapper
+    the kernels would otherwise pay per block per step.
+    """
+    return np.add.reduce(a) / a.size
+
+
+def rolled(a: np.ndarray, shift: int) -> np.ndarray:
+    """``np.roll`` for 1-D arrays with shift ±1, without its overhead.
+
+    The physics kernels roll small per-block field vectors thousands of
+    times per run; ``np.roll``'s generality (normalize axis tuples,
+    build index expressions) costs more than the copy itself at these
+    sizes.  Results are bitwise identical — the two slice-assignments
+    below are exactly the element moves ``np.roll`` performs.  Other
+    shapes/shifts fall back to ``np.roll``.
+    """
+    if a.ndim != 1:
+        return np.roll(a, shift)
+    n = a.shape[0]
+    out = np.empty(n, dtype=a.dtype)
+    if n == 0:
+        return out
+    if shift == 1:
+        out[0] = a[n - 1]
+        out[1:] = a[: n - 1]
+    elif shift == -1:
+        out[n - 1] = a[0]
+        out[: n - 1] = a[1:]
+    else:
+        return np.roll(a, shift)
+    return out
 
 
 class PhysicsModule:

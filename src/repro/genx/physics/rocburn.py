@@ -23,7 +23,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from ...roccom.attribute import AttributeSpec
-from .base import PhysicsModule
+from .base import PhysicsModule, rolled
 
 __all__ = ["Rocburn", "BURN_MODELS", "apn_rate", "zn_rate", "py_rate"]
 
@@ -98,7 +98,7 @@ class Rocburn(PhysicsModule):
         ignited = window.get_array("ignited", bid)
         p = window.get_array("pressure_bc", bid)
         # Flame spreading: heat diffuses along the surface.
-        temp += 40.0 * (np.roll(temp, 1) - 2 * temp + np.roll(temp, -1)) * 0.01
+        temp += 40.0 * (rolled(temp, 1) - 2 * temp + rolled(temp, -1)) * 0.01
         temp += 2.0 * ignited  # burning elements stay hot
         newly = (temp >= self.T_ignite) & (ignited == 0)
         ignited[newly] = 1

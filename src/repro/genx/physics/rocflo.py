@@ -14,7 +14,7 @@ from typing import List
 import numpy as np
 
 from ...roccom.attribute import AttributeSpec
-from .base import PhysicsModule
+from .base import PhysicsModule, fastmean, rolled
 
 __all__ = ["Rocflo"]
 
@@ -65,13 +65,13 @@ class Rocflo(PhysicsModule):
         v = window.get_array("velocity", bid)
         # 1-D (block-local ordering) diffusion of pressure + acoustic
         # density coupling; keeps values bounded and evolving.
-        lap = np.roll(p, 1) - 2.0 * p + np.roll(p, -1)
+        lap = rolled(p, 1) - 2.0 * p + rolled(p, -1)
         p += 0.1 * lap + dt * 1e3 * (rho - _RHO0)
-        rho += dt * 1e-7 * (np.roll(p, -1) - p)
+        rho += dt * 1e-7 * (rolled(p, -1) - p)
         T *= 1.0 - 1e-6 * dt
         T += 1e-6 * dt * 3300.0
         # Node velocities relax toward axial flow with pressure kick.
-        v[:, 2] += dt * 1e-7 * (p.mean() - _P0)
+        v[:, 2] += dt * 1e-7 * (fastmean(p) - _P0)
         v *= 0.9999
 
     def local_dt_limit(self) -> float:
@@ -81,4 +81,4 @@ class Rocflo(PhysicsModule):
     def interface_pressure(self, block_id: int) -> float:
         """Mean boundary pressure of a block (used by Rocface)."""
         p = self.com.window(self.window_name).get_array("pressure", block_id)
-        return float(p.mean())
+        return float(fastmean(p))

@@ -13,7 +13,7 @@ from typing import List
 import numpy as np
 
 from ...roccom.attribute import AttributeSpec
-from .base import PhysicsModule
+from .base import PhysicsModule, fastmean, rolled
 
 __all__ = ["Rocsolid"]
 
@@ -52,9 +52,9 @@ class Rocsolid(PhysicsModule):
         s = window.get_array("stress", bid)
         # Two Jacobi relaxation sweeps toward the traction-loaded
         # equilibrium (the "implicit" solve).
-        load = float(t.mean()) * 5e-13
+        load = float(fastmean(t)) * 5e-13
         for _ in range(2):
-            u[:, 0] = 0.5 * (np.roll(u[:, 0], 1) + np.roll(u[:, 0], -1)) + load
+            u[:, 0] = 0.5 * (rolled(u[:, 0], 1) + rolled(u[:, 0], -1)) + load
             u[:, 1:] *= 0.999
         mag = np.linalg.norm(u, axis=1)
         ne = s.shape[0]

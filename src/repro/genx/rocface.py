@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from ..roccom.registry import Roccom
+from .physics.base import fastmean
 
 __all__ = ["Rocface"]
 
@@ -48,7 +49,9 @@ class Rocface:
         cells = 0
         for pane in window.panes():
             p = window.get_array("pressure", pane.id)
-            total += float(p.sum())
+            # np.add.reduce is ndarray.sum minus the method wrapper
+            # (bitwise-identical pairwise summation).
+            total += float(np.add.reduce(p))
             cells += p.size
         return total, cells
 
@@ -78,7 +81,7 @@ class Rocface:
             regression = float(
                 np.mean(
                     [
-                        window.get_array("burn_distance", b.block_id).mean()
+                        fastmean(window.get_array("burn_distance", b.block_id))
                         for b in self.burn.blocks
                     ]
                 )

@@ -171,10 +171,16 @@ class Window:
         pane._arrays[attr_name] = array
 
     def get_array(self, attr_name: str, pane_id: int) -> np.ndarray:
-        spec = self.attribute(attr_name)
+        # Hot path (physics kernels hit this per field per block per
+        # step): plain dict lookups, diagnose failures only on miss.
+        spec = self._specs.get(attr_name)
+        if spec is None:
+            raise KeyError(f"window {self.name!r} has no attribute {attr_name!r}")
         if spec.location == LOC_WINDOW:
             raise ValueError(f"{attr_name!r} is window-located; use get_window_value")
-        pane = self.pane(pane_id)
+        pane = self._panes.get(pane_id)
+        if pane is None:
+            raise KeyError(f"no pane {pane_id} on window {self.name!r}")
         try:
             return pane._arrays[attr_name]
         except KeyError:

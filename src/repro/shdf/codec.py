@@ -31,10 +31,20 @@ path (every snapshot of every rank round-trips through it), so
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from typing import Any, Iterator, Tuple
 
 import numpy as np
 
+from .format import (
+    COMMIT_MAGIC,
+    COMMIT_SIZE,
+    FILE_MAGIC,
+    INDEX_MAGIC,
+    JOURNAL_ATTR,
+    RECORD_MAGIC,
+    VERSION,
+)
 from .model import Dataset, FileImage
 
 __all__ = [
@@ -43,28 +53,13 @@ __all__ = [
     "JOURNAL_ATTR",
     "encode_header",
     "encode_dataset",
+    "encode_batch",
     "encode_file",
     "encode_commit_footer",
     "decode_file",
     "decode_header",
     "iter_records",
 ]
-
-FILE_MAGIC = b"SHDF"
-RECORD_MAGIC = b"DSET"
-VERSION = 1
-
-#: v1 atomic-commit footer: magic + u64 dataset count (12 bytes).  A
-#: journaled writer appends it as the final act of ``close``; its
-#: absence marks the file as torn.  (v2 files use their index+"SEND"
-#: footer as the commit instead.)
-COMMIT_MAGIC = b"SEOF"
-COMMIT_SIZE = 12
-
-#: File attribute injected by journaled writers.  Readers hitting a
-#: file that carries it but lacks a valid commit raise
-#: :class:`TornFileError` instead of decoding a partial snapshot.
-JOURNAL_ATTR = "_shdf_journal"
 
 _TAG_NONE = 0
 _TAG_BOOL = 1
@@ -301,9 +296,19 @@ def encode_header(attrs: dict) -> bytes:
     return bytes(out)
 
 
-def _encode_dataset_into(out: bytearray, dataset: Dataset) -> None:
-    arr = dataset.data
-    out += RECORD_MAGIC
+#: Memo of encoded record *prefixes* (magic, name, attrs, dtype, shape,
+#: payload length) keyed by everything the prefix depends on.  Snapshot
+#: writes re-encode the same datasets every interval with only the
+#: array bytes changed, so the per-attribute encoding work — the bulk
+#: of small-record encode time — is paid once per dataset identity.
+#: Keys carry each attr value's *type* because hash-equal values of
+#: different types (True vs 1, 1 vs 1.0) encode differently.
+_PREFIX_MEMO_CAP = 4096
+_prefix_memo: "OrderedDict[tuple, bytes]" = OrderedDict()
+
+
+def _encode_record_prefix(dataset: Dataset, arr: np.ndarray) -> bytes:
+    out = bytearray(RECORD_MAGIC)
     _append_str16(out, dataset.name)
     _encode_attrs_into(out, dataset.attrs)
     _append_str16(out, arr.dtype.str)
@@ -314,6 +319,29 @@ def _encode_dataset_into(out: bytearray, dataset: Dataset) -> None:
             f"<{arr.ndim}Q", *arr.shape
         )
     out += _U64.pack(arr.nbytes)
+    return bytes(out)
+
+
+def _encode_dataset_into(out: bytearray, dataset: Dataset) -> None:
+    arr = dataset.data
+    try:
+        key = (
+            dataset.name,
+            arr.dtype.str,
+            arr.shape,
+            tuple((k, type(v), v) for k, v in dataset.attrs.items()),
+        )
+        prefix = _prefix_memo.get(key)
+    except TypeError:  # unhashable attr value (ndarray/list attrs)
+        out += _encode_record_prefix(dataset, arr)
+        _append_array_data(out, arr)
+        return
+    if prefix is None:
+        prefix = _encode_record_prefix(dataset, arr)
+        _prefix_memo[key] = prefix
+        if len(_prefix_memo) > _PREFIX_MEMO_CAP:
+            _prefix_memo.popitem(last=False)
+    out += prefix
     _append_array_data(out, arr)
 
 
@@ -322,6 +350,25 @@ def encode_dataset(dataset: Dataset) -> bytes:
     out = bytearray()
     _encode_dataset_into(out, dataset)
     return bytes(out)
+
+
+def encode_batch(datasets) -> Tuple[bytes, list]:
+    """Encode many datasets into **one** shared buffer.
+
+    Returns ``(buf, entries)`` where ``entries`` is a list of
+    ``(name, offset, length, data_nbytes)`` tuples; ``buf[offset :
+    offset + length]`` is byte-identical to ``encode_dataset`` of the
+    same dataset.  Batched shipping encodes a whole snapshot's worth of
+    records through this in one pass instead of allocating a fresh
+    buffer per record; receivers slice records back out zero-copy.
+    """
+    out = bytearray()
+    entries = []
+    for dataset in datasets:
+        offset = len(out)
+        _encode_dataset_into(out, dataset)
+        entries.append((dataset.name, offset, len(out) - offset, dataset.nbytes))
+    return bytes(out), entries
 
 
 def encode_file(image: FileImage) -> bytes:
@@ -383,8 +430,6 @@ def iter_records(buf: bytes, copy: bool = False) -> Iterator[Dataset]:
     :class:`CodecError` — a short read must never look like a short
     file.
     """
-    from .codec_v2 import INDEX_MAGIC
-
     _attrs, pos, _version = decode_header(buf)
     reader = _Reader(buf, pos)
     nbuf = len(buf)
@@ -422,6 +467,9 @@ def decode_file(buf: bytes, copy: bool = False) -> FileImage:
     attrs, pos, version = decode_header(buf)
     journaled = bool(attrs.get(JOURNAL_ATTR))
     if version == 2:
+        # Functions (not constants) still cross lazily in this one
+        # direction: codec_v2 imports codec at module level, so the
+        # reverse function import cannot be hoisted.
         from .codec_v2 import decode_file_v2, read_index
 
         try:
@@ -436,8 +484,6 @@ def decode_file(buf: bytes, copy: bool = False) -> FileImage:
             # unclosed, non-journaled v2 file: sequential fallback below
         else:
             return decode_file_v2(buf, copy=copy)
-    from .codec_v2 import INDEX_MAGIC
-
     image = FileImage(attrs)
     reader = _Reader(buf, pos)
     nbuf = len(buf)

@@ -27,15 +27,19 @@ from .codec import (
     CodecError,
     _decode_attrs,
     _decode_record,
+    _encode_attrs,
     _pack_str16,
     _Reader,
     encode_dataset,
-    FILE_MAGIC,
 )
+from .format import END_MAGIC, FILE_MAGIC, FOOTER_SIZE, INDEX_MAGIC, VERSION_2
 from .model import Dataset, FileImage
 
 __all__ = [
     "VERSION_2",
+    "INDEX_MAGIC",
+    "END_MAGIC",
+    "FOOTER_SIZE",
     "encode_header_v2",
     "encode_index",
     "encode_file_v2",
@@ -45,13 +49,6 @@ __all__ = [
     "detect_version",
 ]
 
-VERSION_2 = 2
-INDEX_MAGIC = b"SIDX"
-END_MAGIC = b"SEND"
-#: Fixed footer size: u64 index_offset + 4-byte end magic.
-FOOTER_SIZE = 12
-
-
 def detect_version(buf: bytes) -> int:
     """File format version of a buffer (1 or 2)."""
     if len(buf) < 6 or buf[:4] != FILE_MAGIC:
@@ -60,8 +57,6 @@ def detect_version(buf: bytes) -> int:
 
 
 def encode_header_v2(attrs: dict) -> bytes:
-    from .codec import _encode_attrs
-
     return FILE_MAGIC + struct.pack("<H", VERSION_2) + _encode_attrs(attrs)
 
 

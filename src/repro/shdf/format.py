@@ -1,0 +1,49 @@
+"""Shared SHDF on-disk format constants.
+
+Both codec generations need the same magic numbers: v1 readers must
+recognise a v2 index block to know where sequential records end, and
+v2 readers reuse the v1 record encoding wholesale.  Keeping the
+constants here lets :mod:`.codec` and :mod:`.codec_v2` both import
+them at module level instead of smuggling them through lazy
+function-body imports (the two modules still share *functions* in one
+direction only: codec_v2 builds on codec).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FILE_MAGIC",
+    "RECORD_MAGIC",
+    "VERSION",
+    "VERSION_2",
+    "COMMIT_MAGIC",
+    "COMMIT_SIZE",
+    "JOURNAL_ATTR",
+    "INDEX_MAGIC",
+    "END_MAGIC",
+    "FOOTER_SIZE",
+]
+
+FILE_MAGIC = b"SHDF"
+RECORD_MAGIC = b"DSET"
+VERSION = 1
+VERSION_2 = 2
+
+#: v1 atomic-commit footer: magic + u64 dataset count (12 bytes).  A
+#: journaled writer appends it as the final act of ``close``; its
+#: absence marks the file as torn.  (v2 files use their index+"SEND"
+#: footer as the commit instead.)
+COMMIT_MAGIC = b"SEOF"
+COMMIT_SIZE = 12
+
+#: File attribute injected by journaled writers.  Readers hitting a
+#: file that carries it but lacks a valid commit raise
+#: ``TornFileError`` instead of decoding a partial snapshot.
+JOURNAL_ATTR = "_shdf_journal"
+
+#: v2 index block magic ("SIDX" | u32 count | entries).
+INDEX_MAGIC = b"SIDX"
+#: v2 end-of-file magic, last 4 bytes of a closed file.
+END_MAGIC = b"SEND"
+#: Fixed v2 footer size: u64 index_offset + 4-byte end magic.
+FOOTER_SIZE = 12

@@ -46,6 +46,21 @@ class Dataset:
         self.data = np.asarray(data, order="C")
         self.attrs = _validate_attrs(attrs or {})
 
+    @classmethod
+    def trusted(cls, name: str, data: np.ndarray, attrs: Dict[str, Any]) -> "Dataset":
+        """Construct without validation or defensive copies.
+
+        For hot internal paths (snapshot collection re-creates every
+        dataset each interval) where the caller guarantees what
+        ``__init__`` would check: non-empty str name, non-object ndarray
+        data, codec-supported attr values in a dict it won't reuse.
+        """
+        ds = cls.__new__(cls)
+        ds.name = name
+        ds.data = data
+        ds.attrs = attrs
+        return ds
+
     @property
     def nbytes(self) -> int:
         return int(self.data.nbytes)

@@ -33,7 +33,7 @@ from .datatypes import (
     payload_nbytes,
 )
 
-__all__ = ["Comm", "Request"]
+__all__ = ["Comm", "Request", "SendStream"]
 
 #: Base of the internal tag space used by collectives.
 _COLL_TAG_BASE = 1 << 20
@@ -182,6 +182,19 @@ class Comm:
                 yield env.timeout(extra)
         self._mailbox(dest).deliver(envelope)
         yield envelope.done_event
+
+    def stream(self, dest: int, tag: int = 0) -> "SendStream":
+        """Bulk-transfer fast path: a prebound sender to one (dest, tag).
+
+        Returns a :class:`SendStream` whose :meth:`~SendStream.send`
+        yields *exactly* the events of :meth:`send` — same envelopes,
+        sequence numbers, modes, and timeouts — but with the per-message
+        rank checks, node/mailbox cache lookups, and recorder resolution
+        hoisted out of the loop.  Batched shipping pushes a whole
+        snapshot's blocks through one stream, so the Python cost per
+        flight drops while the DES schedule stays bit-identical.
+        """
+        return SendStream(self, dest, tag)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Generator: blocking receive; returns ``(payload, Status)``."""
@@ -524,3 +537,104 @@ class Comm:
 
     def __repr__(self) -> str:
         return f"<Comm id={self.id} rank={self.rank}/{self.size}>"
+
+
+class SendStream:
+    """Prebound point-to-point sender for repeated sends to one target.
+
+    Created by :meth:`Comm.stream`.  Every per-message constant —
+    destination node, mailbox, recorder, global ranks — is resolved
+    once here; :meth:`send` then replays :meth:`Comm.send`'s event
+    sequence verbatim (it shares the communicator's send-sequence
+    counter, so interleaving stream and plain sends stays well
+    ordered).
+    """
+
+    __slots__ = (
+        "comm", "dest", "tag", "_network", "_env",
+        "_src_node", "_dst_node", "_mailbox", "_recorder",
+        "_src_grank", "_dst_grank",
+    )
+
+    def __init__(self, comm: Comm, dest: int, tag: int):
+        comm._check_rank(dest, "dest")
+        self.comm = comm
+        self.dest = dest
+        self.tag = tag
+        self._network = comm.job.network
+        self._env = comm.env
+        self._src_node = comm._node(comm.rank)
+        self._dst_node = comm._node(dest)
+        self._mailbox = comm._mailbox(dest)
+        self._recorder = comm._recorder
+        self._src_grank = comm.global_rank()
+        self._dst_grank = comm.group[dest]
+
+    def send(self, obj: Any, nbytes: Optional[int] = None):
+        """Generator: blocking send; event-for-event equal to Comm.send.
+
+        ``nbytes`` short-circuits :func:`payload_nbytes` when the
+        caller already knows the wire size (batched envelopes do).
+        """
+        comm = self.comm
+        network = self._network
+        env = self._env
+        if nbytes is None:
+            nbytes = payload_nbytes(obj)
+        comm._send_seq += 1
+        envelope = Envelope(
+            comm_id=comm.id,
+            src=comm.rank,
+            dst=self.dest,
+            tag=self.tag,
+            payload=obj,
+            nbytes=nbytes,
+            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            seq=comm._send_seq,
+        )
+        if self._recorder is not None:
+            self._recorder.count_send(
+                self._src_grank, self._dst_grank, nbytes,
+                eager=envelope.mode == MODE_EAGER,
+            )
+        fault = None
+        if network.fault_filter is not None:
+            fault = network.fault_decision(
+                self._src_grank, self._dst_grank, self.tag, nbytes
+            )
+        yield env.timeout(network.spec.sw_overhead)
+        src_node = self._src_node
+        dst_node = self._dst_node
+        if envelope.mode == MODE_EAGER:
+            mailbox = self._mailbox
+            if fault is not None:
+                kind, extra = fault
+                if kind == "drop":
+                    return
+                if kind == "duplicate":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                    )
+                elif kind == "delay":
+                    network.schedule_transfer(
+                        src_node, dst_node, nbytes,
+                        lambda: mailbox.deliver(envelope),
+                        extra_delay=extra,
+                    )
+                    return
+            network.schedule_transfer(
+                src_node, dst_node, nbytes,
+                lambda: mailbox.deliver(envelope),
+            )
+            return
+        envelope.done_event = Event(env)
+        yield from network.control_message(src_node, dst_node)
+        if fault is not None:
+            kind, extra = fault
+            if kind == "drop":
+                return
+            if kind == "delay":
+                yield env.timeout(extra)
+        self._mailbox.deliver(envelope)
+        yield envelope.done_event

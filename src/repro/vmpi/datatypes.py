@@ -61,6 +61,12 @@ class Envelope:
         return Status(source=self.src, tag=self.tag, nbytes=self.nbytes)
 
 
+#: Exact-type fast path for the scalar payloads that dominate call
+#: volume (allreduce/control traffic); subclasses fall through to the
+#: isinstance chain below.
+_SCALAR_NBYTES = {int: 16, float: 16, bool: 16, type(None): 16}
+
+
 def payload_nbytes(obj: Any) -> int:
     """Estimated wire size of a message payload in bytes.
 
@@ -69,6 +75,12 @@ def payload_nbytes(obj: Any) -> int:
     opaque objects is deliberately small — control messages in the I/O
     protocols are tiny compared to data blocks.
     """
+    t = type(obj)
+    fixed = _SCALAR_NBYTES.get(t)
+    if fixed is not None:
+        return fixed
+    if t is str:
+        return 48 + len(obj)
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, (bytes, bytearray, memoryview)):

@@ -199,6 +199,17 @@ class TestBackgroundWriteFaultReporting:
 class TestChaosMatrix:
     """ISSUE acceptance: 100% recovery, 100% determinism, full matrix."""
 
+    def test_batched_shipping_rows_recover(self):
+        """Spot-check: the rocpanda rows (which ship batched — the
+        module's default) stay at 100% recovery/determinism, so the
+        one-guarded-send batch path replays cleanly under faults."""
+        payload = run_faultbench(
+            skip_overhead=True,
+            only=["server_crash/rocpanda", "msg_drop/rocpanda"],
+        )
+        assert payload["recovery_rate"] == 1.0
+        assert payload["determinism_rate"] == 1.0
+
     def test_full_matrix_recovers_and_replays(self):
         payload = run_faultbench(skip_overhead=True)
         failed = [

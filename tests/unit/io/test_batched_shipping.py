@@ -1,0 +1,152 @@
+"""Unit tests for two-phase (batched) block shipping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.io import PandaServer, RocpandaModule, rocpanda_init
+from repro.io.base import DataBlock, block_to_datasets
+from repro.io.rocpanda.protocol import (
+    TAG_CTRL,
+    BlockBatch,
+    EncodedBlock,
+    WriteBegin,
+    encode_block_batch,
+)
+from repro.roccom import AttributeSpec, Roccom
+from repro.shdf.codec import encode_batch, encode_dataset
+from repro.shdf.model import Dataset
+from repro.vmpi import run_spmd
+
+
+def _blocks(n=3, cells=50):
+    rng = np.random.default_rng(5)
+    out = []
+    for i in range(n):
+        out.append(
+            DataBlock(
+                window="W",
+                block_id=i,
+                nnodes=0,
+                nelems=cells,
+                arrays={"f": rng.random(cells)},
+                specs={"f": AttributeSpec("f", "element")},
+            )
+        )
+    return out
+
+
+class TestEncodeBatch:
+    def test_records_byte_identical_to_single_encodes(self):
+        rng = np.random.default_rng(9)
+        datasets = [
+            Dataset(f"W/b{i}/f", rng.random(20 + i), {"ncomp": 1})
+            for i in range(4)
+        ]
+        buf, entries = encode_batch(datasets)
+        assert len(entries) == len(datasets)
+        for dataset, (name, offset, length, nbytes) in zip(datasets, entries):
+            assert name == dataset.name
+            assert nbytes == dataset.nbytes
+            assert buf[offset:offset + length] == bytes(
+                encode_dataset(dataset)
+            )
+        # Entries tile the buffer exactly: no gaps, no overlap.
+        assert entries[0][1] == 0
+        for prev, cur in zip(entries, entries[1:]):
+            assert cur[1] == prev[1] + prev[2]
+        assert entries[-1][1] + entries[-1][2] == len(buf)
+
+    def test_empty(self):
+        buf, entries = encode_batch([])
+        assert buf == b"" and entries == []
+
+
+class TestEncodeBlockBatch:
+    def test_pins_wire_sizes_and_payload(self):
+        blocks = _blocks()
+        batch = encode_block_batch("snap", blocks)
+        assert isinstance(batch, BlockBatch)
+        assert batch.path == "snap"
+        assert [eb.block_id for eb in batch.blocks] == [0, 1, 2]
+        for block, eb in zip(blocks, batch.blocks):
+            assert isinstance(eb, EncodedBlock)
+            # The accounting size is the source block's, so batched
+            # envelopes fly with the per-block path's exact byte counts.
+            assert eb.nbytes == block.nbytes
+            expected = [
+                (d.name, bytes(encode_dataset(d)), d.nbytes)
+                for d in block_to_datasets(block)
+            ]
+            assert [(n, bytes(r), nb) for n, r, nb in eb.records] == expected
+        assert batch.nbytes == sum(b.nbytes + 64 for b in batch.blocks)
+
+    def test_encoding_is_the_snapshot_copy(self):
+        """Mutating source arrays after encoding must not change the
+        record bytes (the batch replaces the per-block array copies)."""
+        blocks = _blocks(n=1)
+        batch = encode_block_batch("snap", blocks)
+        before = bytes(batch.blocks[0].records[0][1])
+        blocks[0].arrays["f"][:] = -1.0
+        assert bytes(batch.blocks[0].records[0][1]) == before
+
+
+class TestServerBatchPath:
+    def _run(self, send):
+        def main(ctx):
+            topo = yield from rocpanda_init(ctx, 1)
+            if topo.is_server:
+                stats = yield from PandaServer(ctx, topo).run()
+                return ("server", stats)
+            com = Roccom(ctx)
+            panda = com.load_module(RocpandaModule(ctx, topo))
+            yield from send(ctx, topo)
+            yield from panda.finalize()
+            return ("client", None)
+
+        machine = Machine(make_testbox(), seed=0)
+        job = run_spmd(machine, 2, main)
+        (stats,) = [v for k, v in job.returns if k == "server"]
+        return machine, stats
+
+    def test_duplicate_batch_blocks_dropped(self):
+        blocks = _blocks()
+        batch = encode_block_batch("dup", blocks)
+
+        def send(ctx, topo):
+            yield from topo.world.send(
+                WriteBegin(
+                    path=batch.path, window="W", nblocks=len(blocks),
+                    total_bytes=sum(b.nbytes for b in blocks), file_attrs={},
+                ),
+                dest=topo.my_server, tag=TAG_CTRL,
+            )
+            from repro.io.rocpanda.protocol import TAG_BLOCK
+
+            yield from topo.world.send(
+                batch, dest=topo.my_server, tag=TAG_BLOCK
+            )
+            # The identical batch again: every block is a duplicate.
+            yield from topo.world.send(
+                batch, dest=topo.my_server, tag=TAG_BLOCK
+            )
+
+        machine, stats = self._run(send)
+        assert stats.duplicate_blocks_dropped == len(blocks)
+        assert stats.blocks_written == len(blocks)
+        assert machine.disk.exists("dup_s0000.shdf")
+
+    def test_batch_without_write_begin_is_protocol_error(self):
+        from repro.io import ProtocolError
+        from repro.io.rocpanda.protocol import TAG_BLOCK
+
+        batch = encode_block_batch("never_begun", _blocks(n=1))
+
+        def send(ctx, topo):
+            yield from topo.world.send(
+                batch, dest=topo.my_server, tag=TAG_BLOCK
+            )
+
+        with pytest.raises(ProtocolError, match="WriteBegin"):
+            self._run(send)
