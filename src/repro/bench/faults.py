@@ -147,7 +147,7 @@ def _panda_write_main(client_retry: RetryPolicy, server_config: ServerConfig):
     return main
 
 
-def _panda_restart_main():
+def _panda_restart_main(client_retry: Optional[RetryPolicy] = None):
     per_client = _PANDA_TOTAL_BLOCKS // (_RESTART_NPROCS - _RESTART_NSERVERS)
 
     def main(ctx):
@@ -156,7 +156,7 @@ def _panda_restart_main():
             stats = yield from PandaServer(ctx, topo).run()
             return ("server", stats)
         com = Roccom(ctx)
-        panda = com.load_module(RocpandaModule(ctx, topo))
+        panda = com.load_module(RocpandaModule(ctx, topo, retry=client_retry))
         w = com.new_window("Fluid")
         first = topo.comm.rank * per_client
         for pane_id in range(first, first + per_client):
@@ -170,7 +170,7 @@ def _panda_restart_main():
             for pid in ids
         }
         yield from panda.finalize()
-        return ("client", restored)
+        return ("client", (restored, panda.stats.retries, panda.stats.failovers))
 
     return main
 
@@ -199,7 +199,51 @@ def _run_rocpanda_scenario(
     blockmap: Dict[int, Dict[str, np.ndarray]] = {}
     for kind, value in restart.returns:
         if kind == "client":
-            blockmap.update(value)
+            blockmap.update(value[0])
+    info = {"client_retries": retries, "client_failovers": failovers}
+    if len(blockmap) != _PANDA_TOTAL_BLOCKS:
+        info["missing_blocks"] = _PANDA_TOTAL_BLOCKS - len(blockmap)
+    return _digest_blocks(blockmap), dict(info, counters=counters)
+
+
+def _run_rocpanda_restart_fault_scenario(
+    plan: FaultPlan,
+    seed: int,
+    client_retry: RetryPolicy,
+) -> Tuple[str, Dict[str, Any]]:
+    """Write fault-free, then restart *under faults* on a different
+    server count.
+
+    The mirror image of :func:`_run_rocpanda_scenario`: the checkpoint
+    lands intact, and the injected faults target the two-phase
+    collective read — a server crash mid-bulk-read (clients resume the
+    dead server's file share from its heir) or transient read ``EIO``
+    during the sieved region reads (absorbed by the server's read-retry
+    path).  Recovery still means the restored arrays digest-match the
+    fully fault-free reference.
+    """
+    machine = Machine(make_testbox(nnodes=8, cpus_per_node=4), seed=seed)
+    run_spmd(
+        machine, _PANDA_NPROCS, _panda_write_main(RetryPolicy(), ServerConfig())
+    )
+
+    restart_machine = Machine(
+        make_testbox(nnodes=8, cpus_per_node=4), seed=seed + 1, disk=machine.disk
+    )
+    restart_machine.install_faults(plan)
+    restart = run_spmd(
+        restart_machine, _RESTART_NPROCS, _panda_restart_main(client_retry)
+    )
+    counters = _counters(restart.recorder)
+    blockmap: Dict[int, Dict[str, np.ndarray]] = {}
+    retries = 0
+    failovers = 0
+    for kind, value in restart.returns:
+        if kind == "client":
+            restored, client_retries, client_failovers = value
+            blockmap.update(restored)
+            retries += client_retries
+            failovers += client_failovers
     info = {"client_retries": retries, "client_failovers": failovers}
     if len(blockmap) != _PANDA_TOTAL_BLOCKS:
         info["missing_blocks"] = _PANDA_TOTAL_BLOCKS - len(blockmap)
@@ -297,6 +341,11 @@ def _scenarios() -> List[Dict[str, Any]]:
     def hdf(plan, module_name, retry=default):
         return lambda seed: _run_hdf_scenario(plan, seed, module_name, retry)
 
+    def panda_restart(plan, client_retry=default):
+        return lambda seed: _run_rocpanda_restart_fault_scenario(
+            plan, seed, client_retry
+        )
+
     return [
         {
             "scenario": "server_crash",
@@ -353,6 +402,24 @@ def _scenarios() -> List[Dict[str, Any]]:
             "module": "rocpanda",
             "run": panda(
                 FaultPlan((Straggler(node=1, start=0.0, duration=0.5, factor=8.0),))
+            ),
+        },
+        {
+            # I/O server dies mid-bulk-read during the two-phase
+            # restart: clients resume its file share from the heir.
+            "scenario": "restart_server_crash",
+            "module": "rocpanda",
+            "run": panda_restart(
+                FaultPlan((ServerCrash(rank=2, at_time=0.004),))
+            ),
+        },
+        {
+            # Transient read EIO inside the sieved region reads,
+            # absorbed by the server-side read-retry path.
+            "scenario": "restart_read_eio",
+            "module": "rocpanda",
+            "run": panda_restart(
+                FaultPlan((TransientEIO(op="read", path_prefix="ck", count=2),))
             ),
         },
         {
@@ -433,6 +500,11 @@ def run_faultbench(
         unknown = wanted - {f"{s['scenario']}/{s['module']}" for s in selected}
         if unknown:
             raise ValueError(f"unknown faultbench scenarios: {sorted(unknown)}")
+
+    # Measure overhead before the matrix: dozens of scenario machines
+    # leave the heap large enough to inflate the e2e wall clock past
+    # the noise budget when measured afterwards.
+    overhead = None if skip_overhead else _measure_overhead(quick, perf_path)
     references = _reference_digests(seed, {s["module"] for s in selected})
     matrix: List[Dict[str, Any]] = []
     for spec in selected:
@@ -471,8 +543,8 @@ def run_faultbench(
         ),
     }
 
-    if not skip_overhead:
-        payload["overhead"] = _measure_overhead(quick, perf_path)
+    if overhead is not None:
+        payload["overhead"] = overhead
     return payload
 
 

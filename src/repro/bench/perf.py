@@ -23,8 +23,15 @@ Benchmarks:
   shipping through the full stack (Roccom call, pack, vmpi flights,
   server ingest + write), for both the two-phase batched path and the
   per-block executable spec;
+* ``restart_twophase`` / ``restart_perblock`` — Rocpanda collective
+  restart through the full stack (server scan, bulk or per-block
+  reads, reply flights, client apply), for both the two-phase sieved
+  path and the per-block executable spec;
 * ``vfs_coalesce`` / ``vfs_percall`` — SHDF dataset writes through the
   write-coalescing scheduler vs one ``fs.write`` per dataset;
+* ``vfs_read_coalesce`` — SHDF dataset reads through the structural
+  scan + read-coalescing scheduler (one directory pass, sieved merged
+  ``fs.read`` calls);
 * ``table1_64p`` — one end-to-end wall-clock run of the Table 1
   experiment at 64 compute processors (the acceptance workload).
 
@@ -51,7 +58,9 @@ __all__ = [
     "bench_vmpi_msgrate",
     "bench_codec",
     "bench_ship",
+    "bench_restart",
     "bench_vfs_coalesce",
+    "bench_vfs_read_coalesce",
     "bench_table1_e2e",
     "run_perfbench",
     "profile_stats",
@@ -309,6 +318,77 @@ def bench_ship(
     return _timed(run)
 
 
+def bench_restart(
+    nblocks: int = 24,
+    cells: int = 2048,
+    repeats: int = 3,
+    batched_restart: bool = True,
+) -> Dict[str, float]:
+    """Collective restart rate (blocks/sec) through the full Rocpanda stack.
+
+    One server writes a snapshot once (setup, untimed); the timed part
+    runs ``repeats`` fresh restart jobs against that disk — request
+    collection, server-side file scan (sieved bulk regions or the
+    per-dataset loop), reply flights, and client-side block apply all
+    included.  ``batched_restart`` selects the two-phase collective
+    read vs the per-block executable spec.
+    """
+    from ..cluster import Machine, testbox
+    from ..io import PandaServer, RocpandaModule, rocpanda_init
+    from ..roccom import AttributeSpec, LOC_ELEMENT, Roccom
+    from ..vmpi import run_spmd
+
+    rng = np.random.default_rng(17)
+    fields = [rng.random(cells) for _ in range(nblocks)]
+
+    def write_main(ctx):
+        topo = yield from rocpanda_init(ctx, 1)
+        if topo.is_server:
+            yield from PandaServer(ctx, topo).run()
+            return
+        com = Roccom(ctx)
+        panda = com.load_module(RocpandaModule(ctx, topo))
+        w = com.new_window("W")
+        w.declare_attribute(AttributeSpec("f", LOC_ELEMENT))
+        for i in range(nblocks):
+            w.register_pane(i, 0, cells)
+            w.set_array("f", i, fields[i])
+        yield from com.call_function("OUT.write_attribute", "W", None, "rst")
+        yield from com.call_function("OUT.sync")
+        yield from panda.finalize()
+
+    def restart_main(ctx):
+        topo = yield from rocpanda_init(ctx, 1)
+        if topo.is_server:
+            yield from PandaServer(ctx, topo).run()
+            return 0
+        com = Roccom(ctx)
+        panda = com.load_module(
+            RocpandaModule(ctx, topo, batched_restart=batched_restart)
+        )
+        w = com.new_window("W")
+        w.declare_attribute(AttributeSpec("f", LOC_ELEMENT))
+        for i in range(nblocks):
+            w.register_pane(i, 0, cells)
+        ids = yield from com.call_function("OUT.read_attribute", "W", None, "rst")
+        yield from panda.finalize()
+        return len(ids)
+
+    machine = Machine(testbox(), seed=0)
+    run_spmd(machine, 2, write_main)
+
+    def run() -> int:
+        restored = 0
+        for r in range(repeats):
+            rm = Machine(testbox(), seed=1 + r, disk=machine.disk)
+            result = run_spmd(rm, 2, restart_main)
+            restored += sum(result.returns)
+        assert restored == nblocks * repeats
+        return restored
+
+    return _timed(run)
+
+
 def bench_vfs_coalesce(
     ndatasets: int = 256, cells: int = 512, repeats: int = 4,
     coalesce: bool = True,
@@ -351,6 +431,56 @@ def bench_vfs_coalesce(
                 yield from writer.close()
 
         env.process(writes(), name="writes")
+        env.run()
+        return ndatasets * repeats
+
+    return _timed(run)
+
+
+def bench_vfs_read_coalesce(
+    ndatasets: int = 256, cells: int = 512, repeats: int = 4,
+) -> Dict[str, float]:
+    """SHDF dataset read rate (datasets/sec) through the sieved path.
+
+    The read-side mirror of :func:`bench_vfs_coalesce`: one file is
+    written (coalesced, part of the timed work but amortized over the
+    repeats), then each repeat re-opens it by structural scan and pulls
+    every dataset through :meth:`~repro.shdf.file.SHDFReader.read_batch`
+    — one directory pass plus merged ``fs.read`` calls via the
+    read-coalescing scheduler.
+    """
+    from ..des import Environment
+    from ..fs import NFSModel
+    from ..shdf.codec import encode_dataset
+    from ..shdf.drivers import hdf4_driver
+    from ..shdf.file import SHDFReader, SHDFWriter
+    from ..shdf.model import Dataset
+
+    rng = np.random.default_rng(19)
+    datasets = [
+        Dataset(f"W/b{i:04d}/f", rng.random(cells), {"ncomp": 1})
+        for i in range(ndatasets)
+    ]
+
+    def run() -> int:
+        env = Environment()
+        fs = NFSModel(env)
+
+        def reads():
+            writer = SHDFWriter(env, fs, "rd.shdf", hdf4_driver())
+            yield from writer.open()
+            yield from writer.write_records(
+                [(d.name, encode_dataset(d), d.nbytes) for d in datasets]
+            )
+            yield from writer.close()
+            for _ in range(repeats):
+                reader = SHDFReader(env, fs, "rd.shdf", hdf4_driver())
+                yield from reader.open_scan()
+                out = yield from reader.read_batch()
+                assert len(out) == ndatasets
+                yield from reader.close()
+
+        env.process(reads(), name="reads")
         env.run()
         return ndatasets * repeats
 
@@ -418,12 +548,14 @@ def run_perfbench(
         sizes = dict(nevents=20_000, nsources=32, rounds=10, nranks=16,
                      nmsgs=10, ndatasets=4, repeats=3,
                      ship_blocks=8, ship_snaps=2, vfs_datasets=64,
-                     vfs_repeats=2)
+                     vfs_repeats=2, restart_blocks=8, restart_repeats=2,
+                     vfs_read_datasets=64, vfs_read_repeats=2)
     else:
         sizes = dict(nevents=200_000, nsources=64, rounds=60, nranks=32,
                      nmsgs=40, ndatasets=16, repeats=8,
                      ship_blocks=24, ship_snaps=4, vfs_datasets=256,
-                     vfs_repeats=4)
+                     vfs_repeats=4, restart_blocks=24, restart_repeats=3,
+                     vfs_read_datasets=256, vfs_read_repeats=4)
 
     micro: Dict[str, Any] = {}
     micro["des_events"] = bench_des_events(sizes["nevents"])
@@ -440,10 +572,18 @@ def run_perfbench(
     for name, batched in (("ship_batched", True), ("ship_perblock", False)):
         micro[name] = bench_ship(
             sizes["ship_blocks"], sizes["ship_snaps"], batched=batched)
+    for name, batched_restart in (
+        ("restart_twophase", True), ("restart_perblock", False)
+    ):
+        micro[name] = bench_restart(
+            sizes["restart_blocks"], repeats=sizes["restart_repeats"],
+            batched_restart=batched_restart)
     for name, coalesce in (("vfs_coalesce", True), ("vfs_percall", False)):
         micro[name] = bench_vfs_coalesce(
             sizes["vfs_datasets"], repeats=sizes["vfs_repeats"],
             coalesce=coalesce)
+    micro["vfs_read_coalesce"] = bench_vfs_read_coalesce(
+        sizes["vfs_read_datasets"], repeats=sizes["vfs_read_repeats"])
 
     payload: Dict[str, Any] = {
         "schema": "perfbench-v1",

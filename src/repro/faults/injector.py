@@ -49,9 +49,17 @@ class FaultInjector:
         self.rng = np.random.default_rng((machine.seed << 8) ^ 0xFA)
         self._dead: Set[int] = set()
         self._recorder = None
-        #: Remaining-failure budgets, one mutable cell per plan spec.
+        #: Remaining-failure budgets, one mutable cell per plan spec,
+        #: split by direction (write vs read hooks).
         self._eio_budgets: List[Tuple[TransientEIO, List[int]]] = [
-            (spec, [spec.count]) for spec in plan.of_type(TransientEIO)
+            (spec, [spec.count])
+            for spec in plan.of_type(TransientEIO)
+            if spec.op == "write"
+        ]
+        self._read_eio_budgets: List[Tuple[TransientEIO, List[int]]] = [
+            (spec, [spec.count])
+            for spec in plan.of_type(TransientEIO)
+            if spec.op == "read"
         ]
         self._msg_budgets: List[Tuple[MessageFault, List[int]]] = [
             (spec, [spec.count]) for spec in plan.of_type(MessageFault)
@@ -82,6 +90,8 @@ class FaultInjector:
         env = self.machine.env
         if self._eio_budgets:
             self.machine.disk.fault_hook = self._disk_hook
+        if self._read_eio_budgets:
+            self.machine.disk.read_fault_hook = self._disk_read_hook
         for spec in self.plan.of_type(DiskFull):
             env.process(self._disk_full_proc(spec), name="fault-diskfull")
         for spec in self.plan.of_type(Straggler):
@@ -97,6 +107,17 @@ class FaultInjector:
             budget[0] -= 1
             self._record("eio_injected", -1, f"EIO on write to {path}")
             raise TransientIOError(f"injected transient EIO ({path})")
+
+    def _disk_read_hook(self, path: str, nbytes: int) -> None:
+        now = self.machine.env.now
+        for spec, budget in self._read_eio_budgets:
+            if budget[0] <= 0 or now < spec.start:
+                continue
+            if not path.startswith(spec.path_prefix):
+                continue
+            budget[0] -= 1
+            self._record("eio_injected", -1, f"EIO on read of {path}")
+            raise TransientIOError(f"injected transient read EIO ({path})")
 
     def _disk_full_proc(self, spec: DiskFull):
         env = self.machine.env

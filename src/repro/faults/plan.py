@@ -39,9 +39,12 @@ class ServerCrash:
 
 @dataclass(frozen=True)
 class TransientEIO:
-    """Fail the next ``count`` writes matching ``path_prefix``.
+    """Fail the next ``count`` I/O ops matching ``path_prefix``.
 
-    Failures begin at virtual time ``start``; each raises
+    ``op`` selects which direction faults: ``"write"`` (the default,
+    hooked before any byte lands) or ``"read"`` (hooked in the checked
+    read entry point the coalesced restart path uses).  Failures begin
+    at virtual time ``start``; each raises
     :class:`repro.fs.vfs.TransientIOError`.  A retry after the budget is
     exhausted succeeds — the canonical transient-EIO shape.
     """
@@ -49,6 +52,11 @@ class TransientEIO:
     path_prefix: str = ""
     start: float = 0.0
     count: int = 1
+    op: str = "write"
+
+    def __post_init__(self):
+        if self.op not in ("write", "read"):
+            raise ValueError(f"unknown TransientEIO op {self.op!r}")
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Filesystem substrate: real-byte virtual disk + timing models."""
 
-from .coalesce import WriteCoalescer
+from .coalesce import ReadCoalescer, WriteCoalescer, merge_extents
 from .models import (
     FileSystemModel,
     FSMetrics,
@@ -32,4 +32,6 @@ __all__ = [
     "GPFSModel",
     "LocalFSModel",
     "WriteCoalescer",
+    "ReadCoalescer",
+    "merge_extents",
 ]

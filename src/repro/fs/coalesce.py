@@ -1,29 +1,67 @@
-"""Write-coalescing scheduler: merge pending same-file writes.
+"""I/O-coalescing schedulers: merge pending same-file accesses.
 
-The data-sieving half of two-phase I/O (Thakur et al., PAPERS.md):
-once a server has gathered many small dataset records bound for one
-file, servicing them as independent filesystem writes pays per-call
-latency and — under the NFS model — re-enters the contended write slot
-once per record.  :class:`WriteCoalescer` instead accumulates the
-pending records and flushes them as a **single** large transfer: one
-``fs.write`` covering the combined payload + metadata bytes, and one
-:meth:`~repro.fs.vfs.VirtualFile.append_many` mutation.
+The data-sieving core of two-phase I/O (Thakur et al., PAPERS.md),
+applied in both directions:
+
+* :class:`WriteCoalescer` — once a server has gathered many small
+  dataset records bound for one file, servicing them as independent
+  filesystem writes pays per-call latency and — under the NFS model —
+  re-enters the contended write slot once per record.  The coalescer
+  instead accumulates the pending records and flushes them as a
+  **single** large transfer: one ``fs.write`` covering the combined
+  payload + metadata bytes, and one
+  :meth:`~repro.fs.vfs.VirtualFile.append_many` mutation.
+* :class:`ReadCoalescer` — the restart mirror image: many small record
+  reads against one file are merged by :func:`merge_extents` into a few
+  large contiguous runs, each serviced as one ``fs.read``.  Sieving
+  proper: runs may span small holes between wanted extents (up to the
+  ``gap`` threshold), trading a few extra bytes on the wire for one
+  large sequential access instead of many seeks.
 
 Fault semantics: ``append_many`` checks the disk's fault hooks against
 the combined size *before* appending anything, so an injected write
 fault leaves the file exactly as it was — the same raise-before-mutate
-contract the per-record path has, now at batch granularity.  Fault-
-injected code paths therefore keep using per-record writes (their
-retry bookkeeping resumes at the record that faulted); the coalescer
-serves the fault-free fast paths where the merge is safe and the DES
-event savings are largest.
+contract the per-record path has, now at batch granularity.  Reads
+mirror it: :meth:`ReadCoalescer.run` keeps its extent list pending
+until every merged run has been served, so an injected read fault
+(raised by :meth:`~repro.fs.vfs.VirtualFile.read_checked` before any
+data is returned) leaves the coalescer re-runnable — a retry replays
+the whole schedule, re-charging virtual time exactly like a retried
+write does.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Tuple
 
-__all__ = ["WriteCoalescer"]
+__all__ = ["WriteCoalescer", "ReadCoalescer", "merge_extents"]
+
+
+def merge_extents(
+    extents: Sequence[Tuple[int, int]], gap: int = 0
+) -> List[Tuple[int, int]]:
+    """Merge ``(offset, nbytes)`` extents into contiguous ``(start, length)`` runs.
+
+    Extents may arrive unsorted, overlapping, or duplicated; the result
+    is sorted, disjoint, and covers every input byte exactly once.  Two
+    extents whose hole is at most ``gap`` bytes are sieved into one run
+    (the hole's bytes are part of the run and will be read/charged — the
+    data-sieving trade).  ``gap=0`` still merges touching/overlapping
+    extents.
+    """
+    if gap < 0:
+        raise ValueError("negative sieve gap")
+    runs: List[List[int]] = []
+    for offset, nbytes in sorted(extents):
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"bad extent ({offset}, {nbytes})")
+        end = offset + nbytes
+        if runs and offset <= runs[-1][1] + gap:
+            if end > runs[-1][1]:
+                runs[-1][1] = end
+        else:
+            runs.append([offset, end])
+    return [(start, end - start) for start, end in runs]
 
 
 class WriteCoalescer:
@@ -87,3 +125,85 @@ class WriteCoalescer:
         self._chunks = []
         self._charged = 0
         return offsets
+
+
+class ReadCoalescer:
+    """Accumulate pending ranged reads of one file; serve them merged.
+
+    Usage (inside a DES process)::
+
+        c = ReadCoalescer(fs, vfile, node=node, gap=gap)
+        for name, offset, length in entries:
+            c.add(offset, length, meta_bytes=driver.meta_bytes_per_dataset)
+        chunks = yield from c.run()   # bytes per extent, in add order
+
+    Each merged run charges **one** ``fs.read`` covering the run's span
+    (wanted bytes plus any sieved-through holes) plus the format
+    metadata of the extents it absorbed, then pulls the bytes with one
+    checked read.  Overlapping extents are read once and sliced per
+    caller.
+    """
+
+    __slots__ = ("fs", "vfile", "node", "gap", "_extents", "_meta")
+
+    def __init__(self, fs, vfile, node=None, gap: int = 0):
+        self.fs = fs
+        self.vfile = vfile
+        self.node = node
+        #: Maximum hole (bytes) two extents may be merged across.
+        self.gap = gap
+        self._extents: List[Tuple[int, int]] = []
+        #: Driver metadata bytes to charge on top of the merged spans.
+        self._meta = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of extents waiting for the next run."""
+        return len(self._extents)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Charged bytes of the current plan (merged spans + metadata)."""
+        return sum(length for _start, length in self.plan()) + self._meta
+
+    def add(self, offset: int, nbytes: int, meta_bytes: int = 0) -> None:
+        """Queue one ranged read (plus driver metadata to charge)."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"bad extent ({offset}, {nbytes})")
+        self._extents.append((offset, nbytes))
+        self._meta += meta_bytes
+
+    def plan(self) -> List[Tuple[int, int]]:
+        """The merged ``(start, length)`` runs the next :meth:`run` will issue."""
+        return merge_extents(self._extents, self.gap)
+
+    def run(self):
+        """Generator: service all pending extents through merged reads.
+
+        Returns the list of per-extent ``bytes``, in :meth:`add` order.
+        The pending extents are cleared only after *every* run has been
+        served, so a read fault raised mid-schedule leaves the coalescer
+        intact for a retry (which replays and re-charges the whole
+        schedule).  A no-op (empty list) when nothing is pending.
+        """
+        if not self._extents:
+            return []
+        runs = self.plan()
+        # Metadata charge rides on the first (largest-savings) run.
+        meta = self._meta
+        buffers: List[Tuple[int, bytes]] = []
+        for start, length in runs:
+            yield from self.fs.read(length + meta, self.node)
+            meta = 0
+            buffers.append((start, self.vfile.read_checked(start, length)))
+        chunks = []
+        for offset, nbytes in self._extents:
+            for start, data in buffers:
+                if start <= offset and offset + nbytes <= start + len(data):
+                    chunks.append(data[offset - start : offset - start + nbytes])
+                    break
+            else:  # pragma: no cover - plan() covers every extent
+                raise RuntimeError("extent missing from merged read plan")
+        self._extents = []
+        self._meta = 0
+        return chunks

@@ -15,6 +15,16 @@ mutated so a failed write never leaves partial state behind:
 * ``fault_hook`` — an optional callable ``hook(path, nbytes)`` installed
   by the fault injector; it may raise :class:`TransientIOError` (or any
   :class:`WriteFaultError`) to fail the write.
+
+Read faults
+-----------
+Reads are checked only through :meth:`VirtualFile.read_checked`, which
+consults the disk's ``read_fault_hook`` before returning any byte.  The
+plain :meth:`VirtualFile.read` stays unchecked on purpose: structural
+parses (``SHDFReader.open``, torn-file detection) must observe the disk
+as-is, and capacity never constrains reads.  Fault-injected read paths
+(the :class:`~repro.fs.coalesce.ReadCoalescer`) go through the checked
+entry point so a transient read EIO can be retried.
 """
 
 from __future__ import annotations
@@ -112,6 +122,18 @@ class VirtualFile:
             return bytes(self._data[offset:])
         return bytes(self._data[offset : offset + nbytes])
 
+    def read_checked(self, offset: int = 0, nbytes: Optional[int] = None) -> bytes:
+        """Ranged read that consults the disk's read fault hook first.
+
+        Raises whatever the hook raises (a :class:`TransientIOError`
+        under injection) *before* returning any data, so callers can
+        retry the whole read without having consumed a partial result.
+        """
+        if self.disk is not None:
+            want = len(self._data) - offset if nbytes is None else nbytes
+            self.disk._check_read(self.path, max(0, want))
+        return self.read(offset, nbytes)
+
     def truncate(self) -> None:
         if self.disk is not None:
             self.disk._used -= len(self._data)
@@ -130,6 +152,11 @@ class VirtualDisk:
         #: Optional ``hook(path, nbytes)`` consulted before every write;
         #: may raise a :class:`WriteFaultError` to fail it.
         self.fault_hook: Optional[Callable[[str, int], None]] = None
+        #: Optional ``hook(path, nbytes)`` consulted by checked reads
+        #: (:meth:`VirtualFile.read_checked`); may raise
+        #: :class:`TransientIOError` to fail the read.  Capacity never
+        #: applies to reads.
+        self.read_fault_hook: Optional[Callable[[str, int], None]] = None
         self._used = 0
 
     def _check_write(self, path: str, grow: int) -> None:
@@ -140,6 +167,10 @@ class VirtualDisk:
             raise DiskFullError(
                 f"disk full: {self._used} + {grow} > capacity {cap} ({path})"
             )
+
+    def _check_read(self, path: str, nbytes: int) -> None:
+        if self.read_fault_hook is not None:
+            self.read_fault_hook(path, nbytes)
 
     def set_capacity(self, capacity_bytes: Optional[int]) -> None:
         """Change the capacity limit (``None`` removes it).

@@ -180,6 +180,13 @@ class RochdfModule(ServiceModule):
         Scans the snapshot's files starting at this rank's own index and
         wrapping around, stopping as soon as every wanted block is
         found.  Returns the list of restored block IDs.
+
+        On the no-fault path each file is opened by structural scan and
+        its wanted records are pulled through the
+        :class:`~repro.fs.coalesce.ReadCoalescer` — one directory pass
+        plus a few large sieved reads instead of a per-dataset
+        lookup/read loop.  Fault-injected runs keep the per-dataset
+        path, whose progress bookkeeping can resume mid-file.
         """
         ctx = self.ctx
         t0 = ctx.now
@@ -201,8 +208,12 @@ class RochdfModule(ServiceModule):
                 ctx.env, ctx.fs, file_path, self.driver, node=ctx.node,
                 recorder=ctx.recorder, rank=ctx.rank,
             )
+            sieved = self._faults is None
             try:
-                yield from reader.open()
+                if sieved:
+                    yield from reader.open_scan()
+                else:
+                    yield from reader.open()
             except TornFileError:
                 # A crash left this file without its commit footer; keep
                 # scanning.  If the wanted blocks exist nowhere else the
@@ -217,12 +228,20 @@ class RochdfModule(ServiceModule):
                 for n in reader.names()
                 if _block_of(n) in wanted and n.startswith(window_name + "/")
             ]
-            datasets = []
-            for name in names:
-                ds = yield from reader.read_dataset(name)
-                datasets.append(ds)
-                self.stats.bytes_read += ds.nbytes
-                nbytes += ds.nbytes
+            if sieved:
+                # One directory pass + sieved bulk reads for the whole
+                # file's wanted records.
+                datasets = yield from reader.read_batch(names)
+                for ds in datasets:
+                    self.stats.bytes_read += ds.nbytes
+                    nbytes += ds.nbytes
+            else:
+                datasets = []
+                for name in names:
+                    ds = yield from reader.read_dataset(name)
+                    datasets.append(ds)
+                    self.stats.bytes_read += ds.nbytes
+                    nbytes += ds.nbytes
             yield from reader.close()
             for block in datasets_to_blocks(datasets):
                 if attr_names is not None:

@@ -23,6 +23,8 @@ from .protocol import (
     TAG_CTRL,
     TAG_REPLY,
     BlockEnvelope,
+    ProtocolError,
+    RestartBatch,
     RestartBlock,
     RestartDone,
     RestartRequest,
@@ -78,6 +80,7 @@ class RocpandaModule(ServiceModule):
         client_buffering: bool = False,
         retry: Optional[RetryPolicy] = None,
         batched: bool = True,
+        batched_restart: bool = True,
     ):
         """``client_buffering`` enables the *full* active-buffering
         hierarchy of [13]: output is first copied into client-side
@@ -94,6 +97,14 @@ class RocpandaModule(ServiceModule):
         selectable exactly like the mailbox implementations; both modes
         produce bit-identical virtual time and on-disk bytes in
         fault-free runs.
+
+        ``batched_restart`` selects the two-phase collective *read*
+        path for ``read_attribute``: requests go to every alive server,
+        servers bulk-read their file shares in sieved regions (with
+        read-ahead) and scatter aggregated :class:`RestartBatch`
+        replies.  ``batched_restart=False`` keeps the per-block
+        request/reply loop as the executable spec; both modes restore
+        bit-identical window data.
         """
         if topo.is_server:
             raise ValueError("RocpandaModule is the client side; servers run PandaServer")
@@ -103,6 +114,7 @@ class RocpandaModule(ServiceModule):
         self.pack_bw = pack_bw if pack_bw is not None else self.PACK_BW
         self.client_buffering = client_buffering
         self.batched = batched
+        self.batched_restart = batched_restart
         self.retry = retry if retry is not None else RetryPolicy()
         self.stats = IOStats()
         self.com = None
@@ -466,19 +478,51 @@ class RocpandaModule(ServiceModule):
     ):
         """Generator: collective restart from server-written files.
 
-        All clients must call this collectively.  Each client asks its
-        server for the block IDs of its registered panes; servers scan
-        the restart files cooperatively and ship blocks back.  Returns
-        the restored block IDs.
+        All clients must call this collectively.  With
+        ``batched_restart`` (the default) every client announces its
+        wanted block IDs to every alive server; servers bulk-read their
+        file shares and scatter aggregated batches back.  The per-block
+        spec path asks only this rank's own server.  Returns the
+        restored block IDs.
         """
         ctx = self.ctx
-        world = self.topo.world
         t0 = ctx.now
         yield from self._drain_sends()
         if self._faults is not None and self._faults.is_dead(self._server):
             self._failover()
         window = self.com.window(window_name)
         wanted = set(window.pane_ids())
+        if self.batched_restart:
+            restored, nbytes = yield from self._read_batched(
+                window_name, wanted, attr_names, path
+            )
+        else:
+            restored, nbytes = yield from self._read_perblock(
+                window_name, wanted, attr_names, path
+            )
+        self.stats.visible_read_time += ctx.now - t0
+        ctx.io_record(
+            self.name, "read_attribute", path=path, nbytes=nbytes, t_start=t0
+        )
+        ctx.trace("rocpanda", f"restored {len(restored)} blocks from {path}")
+        return sorted(restored)
+
+    def _read_perblock(self, window_name, wanted, attr_names, path):
+        """Generator: the per-block restart loop (executable spec path).
+
+        Requires every server to have at least one assigned client
+        (``nclients >= nservers``, a topology contract shared with the
+        two-phase path): a server that receives no restart request
+        never joins the servers' wanted-map allgather.
+
+        Small (eager) restart blocks travel fire-and-forget with a
+        size-proportional flight time, so a server's tiny
+        :class:`RestartDone` can land *before* its last blocks.  After
+        ``Done`` the loop keeps draining with a timeout until the
+        wanted set empties or the wire goes quiet — only then is a
+        block genuinely missing.
+        """
+        world = self.topo.world
         yield from world.send(
             RestartRequest(
                 prefix=path,
@@ -492,8 +536,21 @@ class RocpandaModule(ServiceModule):
         restored: List[int] = []
         nbytes = 0
         done = False
-        while not done:
-            msg, status = yield from world.recv(source=ANY_SOURCE, tag=TAG_REPLY)
+        while not done or wanted:
+            if done:
+                # Done overtook in-flight eager blocks: drain until the
+                # stragglers land or the wire quiesces.
+                reply = yield from world.recv_with_timeout(
+                    source=ANY_SOURCE, tag=TAG_REPLY,
+                    timeout=self.retry.op_timeout,
+                )
+                if reply is None:
+                    break
+                msg, status = reply
+            else:
+                msg, status = yield from world.recv(
+                    source=ANY_SOURCE, tag=TAG_REPLY
+                )
             if isinstance(msg, RestartBlock):
                 if msg.block.block_id not in wanted:
                     # Duplicate: the block also survived in another file
@@ -512,18 +569,162 @@ class RocpandaModule(ServiceModule):
                 # Stale ack from a re-sent sync request; drop it.
                 continue
             else:
-                raise TypeError(f"unexpected restart reply {type(msg).__name__}")
+                raise ProtocolError(
+                    f"rank {self.ctx.rank}: unexpected restart reply "
+                    f"{type(msg).__name__} from rank {status.source}"
+                )
         if wanted:
             raise KeyError(
                 f"restart of {window_name!r} from {path!r} is missing blocks "
                 f"{sorted(wanted)}"
             )
-        self.stats.visible_read_time += ctx.now - t0
-        ctx.io_record(
-            self.name, "read_attribute", path=path, nbytes=nbytes, t_start=t0
+        return restored, nbytes
+
+    def _apply_batch(self, msg: RestartBatch, source: int, wanted, restored):
+        """Apply one scatter batch; returns the payload bytes applied."""
+        if len(msg.blocks) != msg.nblocks:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: RestartBatch from rank {source} "
+                f"declares {msg.nblocks} blocks but carries {len(msg.blocks)}"
+            )
+        nbytes = 0
+        for block in msg.blocks:
+            if block.block_id not in wanted:
+                # Duplicate (another file generation, or a resume that
+                # re-read blocks already applied); first copy wins.
+                continue
+            apply_block(self.com, block)
+            restored.append(block.block_id)
+            wanted.discard(block.block_id)
+            self.stats.blocks_read += 1
+            self.stats.bytes_read += block.nbytes
+            nbytes += block.nbytes
+        return nbytes
+
+    def _read_batched(self, window_name, wanted, attr_names, path):
+        """Generator: the two-phase collective restart (client side).
+
+        Sends this rank's wanted set to **every alive server** (each
+        server derives the complete block->owner map from its own
+        request bucket), then drains aggregated :class:`RestartBatch`
+        replies until one :class:`RestartDone` per outstanding *file
+        share* has arrived.  ``awaiting`` maps each share (keyed by the
+        server rank that owns it in the round-robin file assignment) to
+        the rank currently serving it; when a serving rank dies, the
+        share is re-requested from its deterministic heir with the
+        still-missing block IDs (``resume_of``) and the heir replies to
+        this client alone.
+        """
+        ctx = self.ctx
+        world = self.topo.world
+        faults = self._faults
+        servers = self.topo.servers
+        attrs = tuple(attr_names) if attr_names is not None else None
+        if faults is None:
+            alive = list(servers)
+        else:
+            alive = [s for s in servers if not faults.is_dead(s)]
+        #: share rank -> rank currently expected to serve that share.
+        awaiting: Dict[int, int] = {}
+        request = RestartRequest(
+            prefix=path,
+            window=window_name,
+            block_ids=tuple(sorted(wanted)),
+            attr_names=attrs,
+            batched=True,
         )
-        ctx.trace("rocpanda", f"restored {len(restored)} blocks from {path}")
-        return sorted(restored)
+        for server in alive:
+            yield from world.send(request, dest=server, tag=TAG_CTRL)
+            awaiting[server] = server
+        # Shares of servers already dead before the restart began are
+        # claimed from their heirs straight away.
+        for dead in (s for s in servers if s not in awaiting):
+            heir = failover_server(dead, servers, faults.is_dead)
+            yield from world.send(
+                RestartRequest(
+                    prefix=path,
+                    window=window_name,
+                    block_ids=tuple(sorted(wanted)),
+                    attr_names=attrs,
+                    batched=True,
+                    resume_of=dead,
+                ),
+                dest=heir,
+                tag=TAG_CTRL,
+            )
+            awaiting[dead] = heir
+            self.stats.failovers += 1
+            self._record_counter("failovers")
+        restored: List[int] = []
+        nbytes = 0
+        misses = 0
+        while awaiting:
+            if faults is None:
+                msg, status = yield from world.recv(
+                    source=ANY_SOURCE, tag=TAG_REPLY
+                )
+            else:
+                reply = yield from world.recv_with_timeout(
+                    source=ANY_SOURCE, tag=TAG_REPLY,
+                    timeout=self.retry.op_timeout * 4,
+                )
+                if reply is None:
+                    # A share's server may have died mid-read: resume
+                    # each orphaned share from its current heir, with
+                    # the block IDs this rank is still missing.
+                    moved = False
+                    for share, serving in list(awaiting.items()):
+                        if not faults.is_dead(serving):
+                            continue
+                        heir = failover_server(
+                            serving, servers, faults.is_dead
+                        )
+                        yield from world.send(
+                            RestartRequest(
+                                prefix=path,
+                                window=window_name,
+                                block_ids=tuple(sorted(wanted)),
+                                attr_names=attrs,
+                                batched=True,
+                                resume_of=share,
+                            ),
+                            dest=heir,
+                            tag=TAG_CTRL,
+                        )
+                        awaiting[share] = heir
+                        self.stats.failovers += 1
+                        self._record_counter("failovers")
+                        moved = True
+                    if not moved:
+                        misses += 1
+                        if misses > 1000:
+                            raise RuntimeError(
+                                f"rank {ctx.rank}: Rocpanda batched restart "
+                                f"stalled waiting on shares {sorted(awaiting)}"
+                            )
+                    continue
+                msg, status = reply
+            if isinstance(msg, RestartBatch):
+                nbytes += self._apply_batch(msg, status.source, wanted, restored)
+            elif isinstance(msg, RestartDone):
+                share = (
+                    msg.resume_of if msg.resume_of is not None else status.source
+                )
+                awaiting.pop(share, None)
+            elif isinstance(msg, SyncReply):
+                # Stale ack from a re-sent sync request; drop it.
+                continue
+            else:
+                raise ProtocolError(
+                    f"rank {self.ctx.rank}: unexpected restart reply "
+                    f"{type(msg).__name__} from rank {status.source}"
+                )
+        if wanted:
+            raise KeyError(
+                f"restart of {window_name!r} from {path!r} is missing blocks "
+                f"{sorted(wanted)}"
+            )
+        return restored, nbytes
 
     def sync(self):
         """Generator: wait until everything this rank sent is on disk."""

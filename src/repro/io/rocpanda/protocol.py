@@ -30,6 +30,7 @@ __all__ = [
     "SyncReply",
     "RestartRequest",
     "RestartBlock",
+    "RestartBatch",
     "RestartDone",
     "Shutdown",
 ]
@@ -172,12 +173,26 @@ class SyncReply:
 
 @dataclass(frozen=True)
 class RestartRequest:
-    """A client's restart demand: which blocks it wants from a snapshot."""
+    """A client's restart demand: which blocks it wants from a snapshot.
+
+    ``batched=True`` selects the two-phase collective read: the client
+    sends its request to *every* alive server (so each server builds
+    the full block->owner map from its own bucket, without a server
+    collective), and replies arrive as :class:`RestartBatch` scatter
+    messages instead of per-block :class:`RestartBlock` streams.
+
+    ``resume_of`` marks a failover resume: "server ``resume_of`` died
+    owing me its share of the restart files — you are its heir, rescan
+    that share for the ``block_ids`` I am still missing."  Resume
+    requests are served immediately (no bucketing).
+    """
 
     prefix: str
     window: str
     block_ids: Tuple[int, ...]
     attr_names: Optional[Tuple[str, ...]] = None
+    batched: bool = False
+    resume_of: Optional[int] = None
 
 
 @dataclass
@@ -192,12 +207,40 @@ class RestartBlock:
         return self.block.nbytes + 64
 
 
+@dataclass
+class RestartBatch:
+    """One file region's restored blocks for one owner, as one message.
+
+    The scatter phase of two-phase restart: a server bulk-reads a
+    region of its file share, groups the decoded blocks per owning
+    client, and ships each group as a single aggregated envelope.
+    ``nblocks`` restates the payload length so the receiver can check
+    block-count consistency per reply batch (a torn or mis-sliced
+    batch fails loudly as a :class:`ProtocolError`).  Wire size mirrors
+    the per-block envelopes it replaces.
+    """
+
+    prefix: str
+    blocks: List[DataBlock]
+    nblocks: int
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes + 64 for b in self.blocks)
+
+
 @dataclass(frozen=True)
 class RestartDone:
-    """Server signal: the collective restart for ``prefix`` is complete."""
+    """Server signal: the collective restart for ``prefix`` is complete.
+
+    ``resume_of`` echoes the :class:`RestartRequest` field so a client
+    waiting on several outstanding shares (its normal per-server Dones
+    plus failover resumes) can retire exactly the one that finished.
+    """
 
     prefix: str
     blocks_sent: int
+    resume_of: Optional[int] = None
 
 
 @dataclass(frozen=True)

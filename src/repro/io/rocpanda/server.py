@@ -19,7 +19,19 @@ A dedicated server rank runs :meth:`PandaServer.run` for the whole job:
   the global block->owner map with the other servers, scans its
   round-robin share of the restart files, and ships each found block
   to whichever client wants it — which is why a run may restart with a
-  different number of servers than wrote the files.
+  different number of servers than wrote the files;
+* the **two-phase** restart path (``RestartRequest.batched``) replaces
+  the per-block scan/send loop: every client requests from every alive
+  server (so each server derives the full owner map from its own
+  request bucket — no server collective), the server bulk-reads its
+  file share in large sieved regions through the
+  :class:`~repro.fs.coalesce.ReadCoalescer`, batch-decodes each region,
+  and scatters one aggregated :class:`RestartBatch` per (region,
+  owner).  On the fault-free path the *next* region's disk read runs
+  ahead while the current region's batches are on the wire, overlapping
+  modeled disk and network time.  A client whose server dies mid-read
+  sends a ``resume_of`` request to the dead server's heir, which
+  rescans that share and replies to the requester alone.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from .protocol import (
     BlockEnvelope,
     EncodedBlock,
     ProtocolError,
+    RestartBatch,
     RestartBlock,
     RestartDone,
     RestartRequest,
@@ -83,6 +96,14 @@ class ServerConfig:
     busy_fraction_idle: float = 0.05
     #: Backoff schedule for transient write faults (EIO, disk-full).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Target bytes per bulk-read region in two-phase restart.  Regions
+    #: are cut at data-block boundaries once they exceed this, so one
+    #: region's decoded blocks can be scattered while the next region's
+    #: disk read runs ahead.
+    restart_region_bytes: float = 4 * 1024 * 1024
+    #: Maximum hole (bytes) the restart read sieves through when
+    #: merging record extents into one contiguous ``fs.read``.
+    restart_sieve_gap: int = 65536
 
 
 @dataclass
@@ -101,8 +122,11 @@ class ServerStats:
     #: Resilience accounting.
     crashed: bool = False
     write_retries: int = 0
+    read_retries: int = 0
     duplicate_blocks_dropped: int = 0
     torn_files_skipped: int = 0
+    restart_regions_read: int = 0
+    restart_resumes_served: int = 0
 
 
 class _PathState:
@@ -157,6 +181,10 @@ class PandaServer:
         #: re-announcement (a failed-over client re-shipping) writes a
         #: new generation file instead of truncating the committed one.
         self._file_gens: Dict[str, int] = {}
+        #: (prefix, share rank) -> decoded datasets of that dead
+        #: server's file share; fills on the first failover resume so
+        #: later resumes for the same share skip the rescan.
+        self._resume_cache: Dict[Tuple[str, int], List] = {}
 
     # -- main loop -------------------------------------------------------
     def run(self):
@@ -541,11 +569,33 @@ class PandaServer:
 
     # -- restart (collective read) ---------------------------------------------
     def _on_restart_request(self, client: int, msg: RestartRequest):
+        if msg.resume_of is not None:
+            # Failover resume: served immediately and independently of
+            # any round-0 bucket — the request carries the block IDs
+            # its sender is still missing.
+            yield from self._serve_restart_resume(client, msg)
+            return
         bucket = self._restart_requests.setdefault(msg.prefix, {})
         bucket[client] = msg
-        if len(bucket) >= len(self._expected_clients()):
-            yield from self._do_restart(msg.prefix)
+        if msg.batched:
+            # Two-phase: every live client requests from every alive
+            # server, so this server's own bucket is the full owner map.
+            expected = self._expected_restart_clients()
+        else:
+            expected = self._expected_clients()
+        if len(bucket) >= len(expected):
+            if msg.batched:
+                yield from self._do_restart_batched(msg.prefix)
+            else:
+                yield from self._do_restart(msg.prefix)
             del self._restart_requests[msg.prefix]
+
+    def _expected_restart_clients(self) -> set:
+        """Live compute ranks that join a *batched* collective restart."""
+        ranks = set(range(self.topo.nprocs)) - set(self.topo.servers)
+        if self._faults is None:
+            return ranks
+        return {r for r in ranks if not self._faults.is_dead(r)}
 
     def _do_restart(self, prefix: str):
         ctx = self.ctx
@@ -630,3 +680,266 @@ class PandaServer:
             yield from world.send(
                 RestartDone(prefix, sent), dest=client, tag=TAG_REPLY
             )
+
+    # -- two-phase restart (sieved bulk reads + read-ahead) ---------------------
+    def _note_read_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats.read_retries += 1
+        if self.ctx.recorder is not None:
+            self.ctx.recorder.record_counter("rocpanda", "read_retries")
+        self.ctx.trace("panda-server", f"read fault ({exc}); retry {attempt + 1}")
+
+    def _restart_files(self, prefix: str) -> List[str]:
+        files = sorted(
+            f for f in self.ctx.disk.listdir(prefix + "_s") if f.endswith(".shdf")
+        )
+        if not files:
+            raise FileNotFoundError(
+                f"no Rocpanda restart files with prefix {prefix!r}"
+            )
+        return files
+
+    def _scan_restart_share(self, prefix: str, share_index: int):
+        """Generator: structurally scan one server share of the restart files.
+
+        Returns ``(readers, flat)`` where ``flat`` is the ordered list
+        of ``(reader, region_entries)`` bulk-read units.  Torn files
+        (no commit footer — their writer crashed mid-snapshot) are
+        skipped exactly like the per-block path skips them.
+        """
+        ctx = self.ctx
+        files = self._restart_files(prefix)
+        readers = []
+        flat = []
+        for file_path in files[share_index :: self.topo.nservers]:
+            reader = SHDFReader(
+                ctx.env, ctx.fs, file_path, self.config.driver, node=ctx.node,
+                recorder=ctx.recorder, rank=ctx.rank,
+            )
+            try:
+                yield from reader.open_scan()
+            except TornFileError as exc:
+                self.stats.torn_files_skipped += 1
+                if ctx.recorder is not None:
+                    ctx.recorder.record_counter("rocpanda", "torn_files_skipped")
+                    ctx.recorder.log_event(
+                        ctx.now, "fault", ctx.rank,
+                        f"skipping torn restart file {file_path}: {exc}",
+                    )
+                ctx.trace("panda-server", f"skipping torn file {file_path}")
+                continue
+            readers.append(reader)
+            for region in _restart_regions(
+                reader.entries(), self.config.restart_region_bytes
+            ):
+                flat.append((reader, region))
+        return readers, flat
+
+    def _read_regions(self, flat):
+        """Generator: yield each region's decoded datasets, reading ahead.
+
+        Fault-free, the next region's sieved disk read is launched as
+        its own DES process *before* the current region's datasets are
+        handed to the caller — so while the caller scatters batch
+        replies over the network, the disk is already serving the next
+        region.  Under fault injection the reads run sequentially
+        behind :func:`~repro.faults.retry.retrying` (a read-ahead
+        process that faulted with nobody waiting would crash the
+        simulation, and retry bookkeeping needs the failure delivered
+        here).
+
+        Implemented as a generator-of-generators: the caller drives
+        ``for step in self._read_regions(flat): datasets = yield from step``.
+        """
+        ctx = self.ctx
+        gap = self.config.restart_sieve_gap
+        if self._faults is None:
+            pending = None
+
+            def advance(i):
+                nonlocal pending
+                if pending is None:
+                    pending = ctx.env.process(
+                        flat[i][0].read_extents(flat[i][1], sieve_gap=gap),
+                        name="panda-restart-read",
+                    )
+                current = pending
+                if i + 1 < len(flat):
+                    nxt_reader, nxt_region = flat[i + 1]
+                    pending = ctx.env.process(
+                        nxt_reader.read_extents(nxt_region, sieve_gap=gap),
+                        name="panda-restart-readahead",
+                    )
+                else:
+                    pending = None
+                datasets = yield current
+                return datasets
+
+            for i in range(len(flat)):
+                self.stats.restart_regions_read += 1
+                yield advance(i)
+        else:
+            def attempt_read(reader, region):
+                datasets = yield from retrying(
+                    ctx.env, self.config.retry,
+                    lambda: reader.read_extents(region, sieve_gap=gap),
+                    on_retry=self._note_read_retry,
+                )
+                return datasets
+
+            for reader, region in flat:
+                self.stats.restart_regions_read += 1
+                yield attempt_read(reader, region)
+
+    def _region_blocks(self, datasets, window: str, attr_filter):
+        """Group one region's datasets into per-block payloads."""
+        blocks = datasets_to_blocks(
+            [d for d in datasets if d.name.startswith(window + "/")]
+        )
+        if attr_filter is not None:
+            for block in blocks:
+                block.arrays = {
+                    k: v for k, v in block.arrays.items() if k in attr_filter
+                }
+                block.specs = {
+                    k: v for k, v in block.specs.items() if k in attr_filter
+                }
+        return blocks
+
+    def _do_restart_batched(self, prefix: str):
+        """Generator: the two-phase collective restart for one snapshot.
+
+        Phase one gathered every live client's wanted block IDs into
+        ``self._restart_requests[prefix]`` (each client requests from
+        *every* alive server, so the bucket is the complete owner map —
+        no allgather, no barrier: per-channel FIFO ordering guarantees
+        each client's RestartDone arrives after its last batch).
+        Phase two bulk-reads this server's file share region by region,
+        batch-decodes, and scatters one :class:`RestartBatch` per
+        (region, owner).
+        """
+        ctx = self.ctx
+        world = self.topo.world
+        requests = self._restart_requests[prefix]
+        owner_of: Dict[int, int] = {
+            bid: client
+            for client, req in requests.items()
+            for bid in req.block_ids
+        }
+        first = next(iter(requests.values()))
+        window = first.window
+        attr_filter = first.attr_names
+        sent = 0
+        t0 = ctx.now
+        scanned_bytes = 0
+        readers, flat = yield from self._scan_restart_share(
+            prefix, self.server_index
+        )
+        for step in self._read_regions(flat):
+            datasets = yield from step
+            scanned_bytes += sum(d.nbytes for d in datasets)
+            per_owner: Dict[int, List[DataBlock]] = {}
+            for block in self._region_blocks(datasets, window, attr_filter):
+                owner = owner_of.get(block.block_id)
+                if owner is None:
+                    continue
+                per_owner.setdefault(owner, []).append(block)
+            for owner in sorted(per_owner):
+                blocks = per_owner[owner]
+                yield from world.send(
+                    RestartBatch(prefix, blocks, len(blocks)),
+                    dest=owner, tag=TAG_REPLY,
+                )
+                sent += len(blocks)
+        for reader in readers:
+            yield from reader.close()
+        self.stats.restart_blocks_sent += sent
+        ctx.io_record(
+            "rocpanda", "restart_scan", path=prefix, nbytes=scanned_bytes,
+            t_start=t0,
+        )
+        for client in sorted(self._expected_restart_clients()):
+            yield from world.send(
+                RestartDone(prefix, sent), dest=client, tag=TAG_REPLY
+            )
+
+    def _serve_restart_resume(self, client: int, msg: RestartRequest):
+        """Generator: serve a failover resume for a dead server's share.
+
+        Replies go to the requesting client **only** — a multicast to
+        all owners could rendezvous-block forever against clients that
+        already completed their restart and left the reply loop.
+        """
+        ctx = self.ctx
+        share = msg.resume_of
+        world = self.topo.world
+        self.stats.restart_resumes_served += 1
+        if ctx.recorder is not None:
+            ctx.recorder.record_counter("rocpanda", "restart_resumes_served")
+        ctx.trace(
+            "panda-server",
+            f"resuming share of dead server {share} for client {client}",
+        )
+        sent = 0
+        if msg.block_ids:
+            datasets = yield from self._restart_share_datasets(msg.prefix, share)
+            wanted = set(msg.block_ids)
+            blocks = [
+                b
+                for b in self._region_blocks(datasets, msg.window, msg.attr_names)
+                if b.block_id in wanted
+            ]
+            if blocks:
+                yield from world.send(
+                    RestartBatch(msg.prefix, blocks, len(blocks)),
+                    dest=client, tag=TAG_REPLY,
+                )
+                sent = len(blocks)
+                self.stats.restart_blocks_sent += sent
+        yield from world.send(
+            RestartDone(msg.prefix, sent, resume_of=share),
+            dest=client, tag=TAG_REPLY,
+        )
+
+    def _restart_share_datasets(self, prefix: str, share_rank: int):
+        """Generator: decode (and cache) a dead server's restart share."""
+        key = (prefix, share_rank)
+        cached = self._resume_cache.get(key)
+        if cached is not None:
+            return cached
+        share_index = self.topo.servers.index(share_rank)
+        readers, flat = yield from self._scan_restart_share(prefix, share_index)
+        datasets: List = []
+        for step in self._read_regions(flat):
+            region_datasets = yield from step
+            datasets.extend(region_datasets)
+        for reader in readers:
+            yield from reader.close()
+        self._resume_cache[key] = datasets
+        return datasets
+
+
+def _restart_regions(entries, region_bytes: float):
+    """Split scan entries into bulk-read regions cut at block boundaries.
+
+    ``entries`` are ``(name, offset, length)`` in on-disk order with
+    names shaped ``window/b<id>/<attr>``; a region never splits one
+    data block's records, so each region decodes to whole blocks that
+    can be scattered independently.
+    """
+    regions: List[List] = []
+    current: List = []
+    size = 0
+    prev_block = None
+    for entry in entries:
+        name = entry[0]
+        head = "/".join(name.split("/", 2)[:2])
+        if current and head != prev_block and size >= region_bytes:
+            regions.append(current)
+            current = []
+            size = 0
+        current.append(entry)
+        size += entry[2]
+        prev_block = head
+    if current:
+        regions.append(current)
+    return regions

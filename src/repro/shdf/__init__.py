@@ -17,6 +17,7 @@ from .codec import (
     JOURNAL_ATTR,
     CodecError,
     TornFileError,
+    decode_batch,
     decode_file,
     decode_header,
     encode_commit_footer,
@@ -24,6 +25,7 @@ from .codec import (
     encode_file,
     encode_header,
     iter_records,
+    scan_file,
 )
 from .drivers import HDFDriver, hdf4_driver, hdf5_driver, raw_driver
 from .file import SHDFReader, SHDFWriter
@@ -42,6 +44,8 @@ __all__ = [
     "decode_header",
     "encode_dataset",
     "iter_records",
+    "scan_file",
+    "decode_batch",
     "encode_file_v2",
     "decode_file_v2",
     "detect_version",

@@ -57,8 +57,10 @@ __all__ = [
     "encode_file",
     "encode_commit_footer",
     "decode_file",
+    "decode_batch",
     "decode_header",
     "iter_records",
+    "scan_file",
 ]
 
 _TAG_NONE = 0
@@ -405,6 +407,142 @@ def decode_header(buf: bytes) -> Tuple[dict, int, int]:
         raise CodecError(f"unsupported SHDF version {version}")
     attrs = _decode_attrs(reader)
     return attrs, reader.pos, version
+
+
+def _skip_value(reader: _Reader) -> None:
+    """Advance past one attribute value without materializing it."""
+    tag = reader.u8()
+    if tag == _TAG_NONE:
+        return
+    if tag == _TAG_BOOL:
+        reader.u8()
+    elif tag == _TAG_INT:
+        reader.take(8)
+    elif tag == _TAG_FLOAT:
+        reader.take(8)
+    elif tag in (_TAG_STR, _TAG_BYTES):
+        reader.take(reader.u32())
+    elif tag == _TAG_NDARRAY:
+        dtype = np.dtype(reader.str16())
+        ndim = reader.u8()
+        shape = tuple(reader.u64() for _ in range(ndim))
+        count = int(np.prod(shape)) if shape else 1
+        reader.take(count * dtype.itemsize)
+    elif tag == _TAG_LIST:
+        for _ in range(reader.u32()):
+            _skip_value(reader)
+    else:
+        raise CodecError(f"unknown attribute tag {tag}")
+
+
+def _skip_attrs(reader: _Reader) -> None:
+    for _ in range(reader.u32()):
+        reader.take(reader.u16())  # name (str16)
+        _skip_value(reader)
+
+
+def _skip_record(reader: _Reader) -> str:
+    """Advance past one dataset record; returns its name.
+
+    The skip walks exactly the fields :func:`_decode_record` would
+    (payload length is explicit, so no array is built), which is what
+    makes a metadata-only directory scan cheap in wall-clock terms.
+    """
+    if reader.take(4) != RECORD_MAGIC:
+        raise CodecError("bad dataset record magic")
+    name = reader.str16()
+    _skip_attrs(reader)
+    reader.take(reader.u16())  # dtype string
+    ndim = reader.u8()
+    reader.take(8 * ndim)  # dims
+    nbytes = reader.u64()
+    reader.take(nbytes)
+    return name
+
+
+def scan_file(buf: bytes) -> Tuple[dict, list]:
+    """Structural scan: file attrs + record extents, no array decoding.
+
+    Returns ``(attrs, entries)`` with ``entries`` a list of ``(name,
+    offset, length)`` tuples in on-disk order, such that ``buf[offset :
+    offset + length]`` is one full record for :func:`decode_batch`.
+    This is the sieving reader's directory pass: v2 files resolve it
+    from their index; v1 files are skip-scanned (headers walked, array
+    payloads jumped over).
+
+    Torn-file semantics are identical to :func:`decode_file`: a
+    journaled file missing its commit raises :class:`TornFileError`, a
+    buffer cut mid-record raises :class:`CodecError`.
+    """
+    attrs, pos, version = decode_header(buf)
+    journaled = bool(attrs.get(JOURNAL_ATTR))
+    if version == 2:
+        from .codec_v2 import read_index
+
+        try:
+            index = read_index(buf)
+        except TornFileError:
+            raise
+        except CodecError as exc:
+            if journaled:
+                raise TornFileError(
+                    f"torn v2 SHDF file (no committed index): {exc}"
+                ) from exc
+            # unclosed, non-journaled v2 file: sequential fallback below
+        else:
+            entries = sorted(
+                ((name, off, length) for name, (off, length) in index.items()),
+                key=lambda e: e[1],
+            )
+            return attrs, entries
+    entries = []
+    reader = _Reader(buf, pos)
+    nbuf = len(buf)
+    committed = None
+    while not reader.exhausted:
+        chunk = buf[reader.pos : reader.pos + 4]
+        if chunk == RECORD_MAGIC:
+            start = reader.pos
+            name = _skip_record(reader)
+            entries.append((name, start, reader.pos - start))
+        elif chunk == COMMIT_MAGIC and reader.pos == nbuf - COMMIT_SIZE:
+            committed = _U64.unpack_from(buf, reader.pos + 4)[0]
+            break
+        elif version == 2 and chunk == INDEX_MAGIC:
+            break  # torn index region of a non-journaled v2 file
+        else:
+            raise CodecError(
+                f"truncated or corrupt SHDF record at offset {reader.pos}"
+            )
+    if journaled and version == 1:
+        if committed is None:
+            raise TornFileError("torn v1 SHDF file (missing commit footer)")
+        if committed != len(entries):
+            raise TornFileError(
+                f"torn v1 SHDF file (commit says {committed} datasets, "
+                f"found {len(entries)})"
+            )
+    return attrs, entries
+
+
+def decode_batch(records, copy: bool = False) -> list:
+    """Decode an iterable of single-record buffers into Datasets.
+
+    The read-side counterpart of :func:`encode_batch`: each element must
+    hold exactly one record (a :func:`scan_file` extent sliced out of a
+    file buffer, or a shipped batch entry).  Trailing bytes after the
+    record raise :class:`CodecError` — a sliced extent must never be
+    silently longer than its record.
+    """
+    out = []
+    for chunk in records:
+        reader = _Reader(chunk)
+        out.append(_decode_record(reader, copy))
+        if not reader.exhausted:
+            raise CodecError(
+                f"trailing bytes after dataset record ({reader._len - reader.pos})"
+            )
+    return out
 
 
 def _decode_record(reader: _Reader, copy: bool = True) -> Dataset:

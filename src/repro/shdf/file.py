@@ -15,15 +15,17 @@ from typing import Any, Dict, Iterator, List, Optional
 import numpy as np
 
 from ..des import Environment
-from ..fs.coalesce import WriteCoalescer
+from ..fs.coalesce import ReadCoalescer, WriteCoalescer
 from ..fs.models import FileSystemModel
 from .codec import (
     JOURNAL_ATTR,
+    decode_batch,
     decode_file,
     encode_commit_footer,
     encode_dataset,
     encode_header,
     iter_records,
+    scan_file,
 )
 from .format import END_MAGIC, FOOTER_SIZE
 from .codec_v2 import encode_header_v2, encode_index
@@ -252,11 +254,15 @@ class SHDFReader:
         self._rank = rank
         self._visible = visible
         self._image: Optional[FileImage] = None
+        # Scan-mode state (open_scan): record extents + raw file bytes.
+        self._entries: Optional[List] = None
+        self._attrs: Optional[Dict[str, Any]] = None
+        self._vfile = None
 
     @property
     def is_open(self) -> bool:
         """True between a successful ``open`` and the matching ``close``."""
-        return self._image is not None
+        return self._image is not None or self._entries is not None
 
     def _record(self, op: str, nbytes: int, t_start: float) -> None:
         if self._recorder is not None:
@@ -289,23 +295,64 @@ class SHDFReader:
         self._record("open", 0, t0)
         return self._image.attrs
 
+    def open_scan(self):
+        """Generator: open the file by *structural scan* (no data decode).
+
+        The sieving counterpart of :meth:`open`: one metadata round
+        trip, then the file's record directory is scanned into extents
+        — names, offsets, lengths — without materializing any array.
+        Dataset data is decoded only when :meth:`read_extents` /
+        :meth:`read_batch` pulls it through the
+        :class:`~repro.fs.coalesce.ReadCoalescer`.  Torn-file semantics
+        match :meth:`open` (``TornFileError`` propagates).
+        """
+        if self.is_open:
+            raise RuntimeError(f"{self.path}: already open")
+        t0 = self.env.now
+        yield from self.fs.meta_op(self.node)
+        self._vfile = self.fs.disk.open(self.path)
+        attrs, entries = scan_file(self._vfile.read())
+        # Writer-internal markers (the journal flag) are not user attrs.
+        for key in [k for k in attrs if k.startswith("_shdf_")]:
+            del attrs[key]
+        self._attrs = attrs
+        self._entries = entries
+        self._record("open_scan", 0, t0)
+        return attrs
+
     @property
     def ndatasets(self) -> int:
         self._require_open()
-        return len(self._image)
+        if self._image is not None:
+            return len(self._image)
+        return len(self._entries)
 
     def names(self) -> List[str]:
         self._require_open()
-        return self._image.names()
+        if self._image is not None:
+            return self._image.names()
+        return [name for name, _offset, _length in self._entries]
+
+    def entries(self) -> List:
+        """The ``(name, offset, length)`` record extents, in file order.
+
+        Scan mode only: callers (e.g. the Rocpanda restart servers) use
+        these to chunk a file into bulk-read regions, then hand each
+        chunk back to :meth:`read_extents`.
+        """
+        self._require_scan()
+        return list(self._entries)
 
     @property
     def file_attrs(self) -> Dict[str, Any]:
         self._require_open()
-        return self._image.attrs
+        if self._image is not None:
+            return self._image.attrs
+        return self._attrs
 
     def read_dataset(self, name: str):
         """Generator: locate and read one dataset; returns :class:`Dataset`."""
-        self._require_open()
+        self._require_image()
         t0 = self.env.now
         dataset = self._image.get(name)
         yield self.env.timeout(self.driver.lookup_cost(len(self._image)))
@@ -324,12 +371,69 @@ class SHDFReader:
         is the HDF4 behaviour that makes Rocpanda restart files (with
         thousands of datasets each) expensive to load (§7.1).
         """
-        self._require_open()
+        self._require_image()
         out = []
         for dataset in self._image:
             loaded = yield from self.read_dataset(dataset.name)
             out.append(loaded)
         return out
+
+    def read_extents(self, entries, sieve_gap: int = 65536):
+        """Generator: read ``(name, offset, length)`` record extents merged.
+
+        The two-phase read's data movement: per-record filesystem meta
+        ops are charged as one bulk event, the extents are merged by a
+        :class:`~repro.fs.coalesce.ReadCoalescer` (sieving through holes
+        up to ``sieve_gap`` bytes) into a few large ``fs.read`` calls,
+        and the resulting record slices are batch-decoded.  Returns the
+        :class:`Dataset` list in ``entries`` order, with private
+        writable arrays (restart consumers mutate them in place).
+
+        Requires scan mode (:meth:`open_scan`).  Directory lookup time
+        is *not* charged here — callers charge it once per directory
+        pass (see :meth:`read_batch`), which is exactly the per-dataset
+        ``lookup_cost`` saving of the sieved path.
+        """
+        self._require_scan()
+        entries = list(entries)
+        if not entries:
+            return []
+        t0 = self.env.now
+        yield from self.fs.meta_ops_bulk(
+            self.driver.fs_meta_ops_per_dataset * len(entries), self.node
+        )
+        coalescer = ReadCoalescer(self.fs, self._vfile, node=self.node, gap=sieve_gap)
+        for _name, offset, length in entries:
+            coalescer.add(offset, length, meta_bytes=self.driver.meta_bytes_per_dataset)
+        chunks = yield from coalescer.run()
+        datasets = decode_batch(chunks, copy=True)
+        self._record("read_extents", sum(d.nbytes for d in datasets), t0)
+        return datasets
+
+    def read_batch(self, names: Optional[List[str]] = None, sieve_gap: int = 65536):
+        """Generator: read many datasets through one directory pass.
+
+        Charges a single ``lookup_cost`` at the file's directory size —
+        one scan locates every requested record, instead of the
+        per-dataset re-scan :meth:`read_dataset` models — then services
+        the extents via :meth:`read_extents`.  ``names=None`` reads
+        everything; otherwise datasets are returned in *file order*
+        restricted to ``names`` (unknown names raise ``KeyError``).
+        """
+        self._require_scan()
+        t0 = self.env.now
+        yield self.env.timeout(self.driver.lookup_cost(len(self._entries)))
+        if names is None:
+            selected = self._entries
+        else:
+            wanted = set(names)
+            unknown = wanted - {name for name, _o, _l in self._entries}
+            if unknown:
+                raise KeyError(f"no dataset named {sorted(unknown)[0]!r}")
+            selected = [e for e in self._entries if e[0] in wanted]
+        datasets = yield from self.read_extents(selected, sieve_gap=sieve_gap)
+        self._record("read_batch", sum(d.nbytes for d in datasets), t0)
+        return datasets
 
     def close(self):
         """Generator: close the file."""
@@ -337,8 +441,19 @@ class SHDFReader:
         t0 = self.env.now
         yield from self.fs.meta_op(self.node)
         self._image = None
+        self._entries = None
+        self._attrs = None
+        self._vfile = None
         self._record("close", 0, t0)
 
     def _require_open(self):
-        if self._image is None:
+        if not self.is_open:
             raise RuntimeError(f"{self.path}: not open")
+
+    def _require_image(self):
+        if self._image is None:
+            raise RuntimeError(f"{self.path}: not open (image mode)")
+
+    def _require_scan(self):
+        if self._entries is None:
+            raise RuntimeError(f"{self.path}: not open in scan mode")

@@ -1,0 +1,62 @@
+"""Integration tests: faults injected *during* the two-phase restart.
+
+The write lands fault-free; the faults target the collective read-back
+itself — a server crash mid-bulk-read (clients resume the dead rank's
+file share from its deterministic heir) and transient read ``EIO``
+during the sieved region reads (absorbed by the server-side read
+retry).  Both must recover to a restore digest-identical to a fully
+fault-free run and replay deterministically under the same seed.
+"""
+
+import pytest
+
+from repro.bench.faults import (
+    _PATIENT_RETRY,
+    _run_rocpanda_restart_fault_scenario,
+)
+from repro.faults import FaultPlan, ServerCrash, TransientEIO
+
+
+def _run_twice(plan):
+    first = _run_rocpanda_restart_fault_scenario(plan, 0, _PATIENT_RETRY)
+    second = _run_rocpanda_restart_fault_scenario(plan, 0, _PATIENT_RETRY)
+    return first, second
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    """Digest of the restore with no faults installed at all."""
+    digest, info = _run_rocpanda_restart_fault_scenario(
+        FaultPlan(()), 0, _PATIENT_RETRY
+    )
+    assert "missing_blocks" not in info
+    return digest
+
+
+class TestServerCrashMidRestart:
+    def test_recovers_via_heir_and_is_deterministic(self, reference_digest):
+        plan = FaultPlan((ServerCrash(rank=2, at_time=0.004),))
+        (digest1, info1), (digest2, info2) = _run_twice(plan)
+        # Recovery: bit-identical restore despite the mid-read crash.
+        assert "missing_blocks" not in info1, info1
+        assert digest1 == reference_digest
+        # The dead rank's share really was re-served by its heir.
+        rocpanda = info1["counters"]["rocpanda"]
+        assert rocpanda.get("restart_resumes_served", 0) > 0
+        assert info1["client_failovers"] > 0
+        assert rocpanda.get("server_crashes") == 1
+        # Determinism: same seed, same digest, same counters.
+        assert (digest1, info1) == (digest2, info2)
+
+
+class TestTransientReadEIOMidRestart:
+    def test_read_retry_absorbs_injected_eio(self, reference_digest):
+        plan = FaultPlan(
+            (TransientEIO(op="read", path_prefix="ck", count=2),)
+        )
+        (digest1, info1), (digest2, info2) = _run_twice(plan)
+        assert "missing_blocks" not in info1, info1
+        assert digest1 == reference_digest
+        # The injected EIOs were hit and retried server-side.
+        assert info1["counters"]["rocpanda"].get("read_retries") == 2
+        assert (digest1, info1) == (digest2, info2)

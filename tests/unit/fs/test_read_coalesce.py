@@ -1,0 +1,151 @@
+"""Unit tests for the read-coalescing scheduler (repro.fs.coalesce).
+
+The restart mirror image of the write coalescer: merged extents must
+return exactly the bytes a per-call read loop would, while charging one
+``fs.read`` per contiguous run — the modeled data-sieving win.
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.fs import NFSModel, ReadCoalescer, merge_extents
+
+
+def drive(env, gen):
+    box = {}
+
+    def runner():
+        box["value"] = yield from gen
+
+    env.process(runner(), name="drive")
+    env.run()
+    return box.get("value")
+
+
+class TestMergeExtents:
+    def test_sorted_disjoint_runs(self):
+        assert merge_extents([(10, 5), (0, 5)]) == [(0, 5), (10, 5)]
+
+    def test_touching_and_overlapping_merge(self):
+        assert merge_extents([(0, 5), (5, 5)]) == [(0, 10)]
+        assert merge_extents([(0, 8), (4, 10)]) == [(0, 14)]
+        assert merge_extents([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_duplicates_and_empty_extents(self):
+        assert merge_extents([(3, 4), (3, 4), (3, 0)]) == [(3, 4)]
+        assert merge_extents([]) == []
+
+    def test_gap_sieves_small_holes_only(self):
+        extents = [(0, 10), (20, 10)]
+        assert merge_extents(extents, gap=10) == [(0, 30)]
+        assert merge_extents(extents, gap=9) == [(0, 10), (20, 10)]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            merge_extents([(0, 4)], gap=-1)
+        with pytest.raises(ValueError):
+            merge_extents([(-1, 4)])
+        with pytest.raises(ValueError):
+            merge_extents([(0, -4)])
+
+
+class TestReadCoalescer:
+    def _file(self, disk, nbytes=512):
+        f = disk.create("f")
+        f.append(bytes(i % 251 for i in range(nbytes)))
+        return f
+
+    def test_one_transfer_same_bytes_and_time(self):
+        """Adjacent extents collapse into one fs.read whose virtual time
+        saves exactly (N-1) fixed latencies vs the per-call loop, and
+        the returned chunks are byte-identical, in add order."""
+        extents = [(0, 100), (100, 50), (150, 7)]
+
+        env1 = Environment()
+        fs1 = NFSModel(env1)
+        f1 = self._file(fs1.disk)
+
+        def per_call():
+            out = []
+            for offset, nbytes in extents:
+                yield from fs1.read(nbytes)
+                out.append(f1.read_checked(offset, nbytes))
+            return out
+
+        chunks1 = drive(env1, per_call())
+
+        env2 = Environment()
+        fs2 = NFSModel(env2)
+        co = ReadCoalescer(fs2, self._file(fs2.disk))
+        for offset, nbytes in extents:
+            co.add(offset, nbytes)
+        assert co.pending == len(extents)
+        assert co.plan() == [(0, 157)]
+        chunks2 = drive(env2, co.run())
+
+        assert chunks2 == chunks1
+        assert fs2.metrics.read_ops == 1
+        assert fs2.metrics.bytes_read == fs1.metrics.bytes_read
+        assert env1.now - env2.now == pytest.approx(2 * fs1.meta_latency)
+        # Served state resets for reuse.
+        assert co.pending == 0 and co.pending_bytes == 0
+        assert drive(Environment(), co.run()) == []
+
+    def test_meta_bytes_charged_once(self):
+        env1 = Environment()
+        fs1 = NFSModel(env1)
+        f1 = self._file(fs1.disk)
+
+        def per_call():
+            for offset, nbytes in [(0, 20), (20, 20)]:
+                yield from fs1.read(nbytes + 3)
+                f1.read_checked(offset, nbytes)
+
+        drive(env1, per_call())
+
+        env2 = Environment()
+        fs2 = NFSModel(env2)
+        co = ReadCoalescer(fs2, self._file(fs2.disk))
+        co.add(0, 20, meta_bytes=3)
+        co.add(20, 20, meta_bytes=3)
+        assert co.pending_bytes == 46
+        drive(env2, co.run())
+        # Payload + per-record metadata bytes match the loop exactly.
+        assert fs2.metrics.bytes_read == fs1.metrics.bytes_read == 46
+
+    def test_sieve_gap_reads_hole_bytes(self):
+        """A sieved hole is read and charged — the data-sieving trade —
+        but never returned to any caller."""
+        env = Environment()
+        fs = NFSModel(env)
+        f = self._file(fs.disk)
+        data = f.read()
+        co = ReadCoalescer(fs, f, gap=16)
+        co.add(0, 10)
+        co.add(26, 10)
+        assert co.plan() == [(0, 36)]
+        chunks = drive(env, co.run())
+        assert chunks == [data[0:10], data[26:36]]
+        assert fs.metrics.read_ops == 1
+        assert fs.metrics.bytes_read == 36
+
+    def test_overlapping_extents_read_once_sliced_per_caller(self):
+        env = Environment()
+        fs = NFSModel(env)
+        f = self._file(fs.disk)
+        data = f.read()
+        co = ReadCoalescer(fs, f)
+        co.add(40, 20)
+        co.add(50, 20)
+        co.add(45, 5)
+        chunks = drive(env, co.run())
+        assert chunks == [data[40:60], data[50:70], data[45:50]]
+        assert fs.metrics.read_ops == 1
+        assert fs.metrics.bytes_read == 30  # merged span, not the sum
+
+    def test_rejects_bad_extent(self):
+        co = ReadCoalescer(NFSModel(Environment()), None)
+        with pytest.raises(ValueError):
+            co.add(-1, 4)
+        with pytest.raises(ValueError):
+            co.add(0, -4)
