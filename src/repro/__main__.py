@@ -9,6 +9,7 @@ Runs the paper's experiments and demos without going through pytest:
 * ``demo``    — a quick GENx run with a timing breakdown
 * ``trace``   — per-rank I/O timeline + overlap ratios (repro.obs)
 * ``perfbench``  — wall-clock microbenchmarks of the simulator itself
+* ``scalebench`` — simulator scaling curves at 64..1024 ranks
 * ``faultbench`` — fault-injection chaos matrix + recovery rates
 
 ``--quick`` shrinks everything for a fast smoke pass; ``--out DIR``
@@ -218,6 +219,51 @@ def cmd_perfbench(args) -> None:
         print(f"[no micro below {1.0 - args.max_regression:.2f}x baseline]")
 
 
+def cmd_scalebench(args) -> None:
+    import json
+
+    from .bench.scale import (
+        DEFAULT_SCALE_BASELINE_PATH,
+        DEFAULT_SCALE_QUICK_BASELINE_PATH,
+        check_scale_regressions,
+        load_scale_baseline,
+        render_scale,
+        run_scalebench,
+    )
+
+    default_baseline = (
+        DEFAULT_SCALE_QUICK_BASELINE_PATH
+        if args.quick
+        else DEFAULT_SCALE_BASELINE_PATH
+    )
+    baseline = load_scale_baseline(args.baseline or default_baseline)
+    points = tuple(args.points) if args.points else None
+    payload = run_scalebench(quick=args.quick, baseline=baseline, points=points)
+    _emit(args, "scaling.txt", render_scale(payload), payload=payload)
+    # The repo-root copy is the committed 64 -> 1024 scaling record
+    # tracked PR-over-PR; quick runs cover one point and must not
+    # overwrite it.
+    if not args.quick and not args.points:
+        with open("BENCH_scaling.json", "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("[saved to BENCH_scaling.json]")
+    if args.max_regression is not None:
+        if "speedup_vs_baseline" not in payload:
+            print("[no size-matched baseline: skipping regression gate]")
+            return
+        regressed = check_scale_regressions(payload, args.max_regression)
+        if regressed:
+            floor = 1.0 - args.max_regression
+            for name, speedup in regressed:
+                print(
+                    f"REGRESSION: {name} at {speedup}x baseline "
+                    f"(floor {floor:.2f}x)", file=sys.stderr,
+                )
+            sys.exit(1)
+        print(f"[no point below {1.0 - args.max_regression:.2f}x baseline]")
+
+
 def cmd_faultbench(args) -> None:
     from .bench.faults import DEFAULT_PERF_PATH, render_faults, run_faultbench
 
@@ -338,6 +384,26 @@ def build_parser() -> argparse.ArgumentParser:
              "slower than the committed baseline (e.g. 0.25)",
     )
     perf.set_defaults(func=cmd_perfbench)
+    scale = sub.add_parser(
+        "scalebench",
+        help="simulator scaling curves, 64 -> 1024 ranks "
+             "(--quick: 128-client point only)",
+    )
+    scale.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline BENCH_scaling JSON to compare against "
+             "(default: bench_results/BENCH_scaling_baseline[_quick].json)",
+    )
+    scale.add_argument(
+        "--points", type=int, nargs="+", default=None, metavar="N",
+        help="client counts to run instead of the standard sweep",
+    )
+    scale.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRAC",
+        help="fail (exit 1) if any curve point's host wall is more than "
+             "FRAC slower than the committed baseline (e.g. 0.25)",
+    )
+    scale.set_defaults(func=cmd_scalebench)
     faults = sub.add_parser(
         "faultbench",
         help="chaos matrix: fault injection x I/O module recovery rates",

@@ -29,6 +29,13 @@ from .report import (
     render_table,
     write_bench_json,
 )
+from .scale import (
+    bench_scale_point,
+    check_scale_regressions,
+    load_scale_baseline,
+    render_scale,
+    run_scalebench,
+)
 from .table1 import Table1Result, run_table1
 
 __all__ = [
@@ -64,4 +71,9 @@ __all__ = [
     "bench_vmpi_msgrate",
     "bench_codec",
     "bench_table1_e2e",
+    "run_scalebench",
+    "render_scale",
+    "check_scale_regressions",
+    "load_scale_baseline",
+    "bench_scale_point",
 ]

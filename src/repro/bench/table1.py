@@ -88,10 +88,20 @@ def run_table1(
     steps: int = 200,
     snapshot_interval: int = 50,
     seed_base: int = 100,
+    nblocks_fluid: int = 320,
+    nblocks_solid: int = 160,
+    nnodes: int = 208,
 ) -> Table1Result:
-    """Run the full Table 1 experiment matrix."""
+    """Run the full Table 1 experiment matrix.
+
+    ``nblocks_*`` and ``nnodes`` open the historical 16/32/64-processor
+    matrix up to the scaling sweep: the partitioner needs at least one
+    block per client, and runs past 416 ranks need a larger simulated
+    cluster than the real Turing's 208 nodes.
+    """
     workload = lab_scale_motor(
-        scale=scale, steps=steps, snapshot_interval=snapshot_interval
+        scale=scale, steps=steps, snapshot_interval=snapshot_interval,
+        nblocks_fluid=nblocks_fluid, nblocks_solid=nblocks_solid,
     )
     measured: Dict[str, Dict[int, Summary]] = {k: {} for k in _PAPER}
 
@@ -104,7 +114,7 @@ def run_table1(
             restart_metrics: Dict[str, float] = {}
 
             # --- Rochdf (baseline, blocking individual I/O) ----------
-            m = Machine(turing(), seed=seed)
+            m = Machine(turing(nnodes=nnodes), seed=seed)
             r_hdf = run_genx(
                 m,
                 nclients,
@@ -114,7 +124,7 @@ def run_table1(
             run_metrics["rochdf"] = r_hdf.visible_io_time
 
             # Restart latency: re-read the last snapshot of that run.
-            m2 = Machine(turing(), seed=seed + 1000, disk=m.disk)
+            m2 = Machine(turing(nnodes=nnodes), seed=seed + 1000, disk=m.disk)
             r_restart = run_genx(
                 m2,
                 nclients,
@@ -131,7 +141,7 @@ def run_table1(
             restart_metrics["restart_rochdf"] = r_restart.restart_time
 
             # --- T-Rochdf (threaded individual I/O) -------------------
-            m = Machine(turing(), seed=seed)
+            m = Machine(turing(nnodes=nnodes), seed=seed)
             r_thr = run_genx(
                 m,
                 nclients,
@@ -141,7 +151,7 @@ def run_table1(
 
             # --- Rocpanda (collective; extra dedicated servers) -------
             nservers = _nservers(nclients)
-            m = Machine(turing(), seed=seed)
+            m = Machine(turing(nnodes=nnodes), seed=seed)
             r_panda = run_genx(
                 m,
                 nclients + nservers,
@@ -154,7 +164,7 @@ def run_table1(
             )
             run_metrics["rocpanda"] = r_panda.visible_io_time
 
-            m2 = Machine(turing(), seed=seed + 2000, disk=m.disk)
+            m2 = Machine(turing(nnodes=nnodes), seed=seed + 2000, disk=m.disk)
             r_prestart = run_genx(
                 m2,
                 nclients + nservers,

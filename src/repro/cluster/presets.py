@@ -24,6 +24,7 @@ def turing(
     write_penalty: float = 0.22,
     max_penalty_factor: float = 3.2,
     shared_nodes: bool = True,
+    nnodes: int = 208,
 ) -> MachineSpec:
     """GENx's development platform (§7.1).
 
@@ -34,10 +35,15 @@ def turing(
 
     The message-passing layer "does not scale well" on Turing (§7.1):
     per-message latency grows with job size (``scale_alpha``).
+
+    ``nnodes`` scales the cluster beyond the historical 208 nodes for
+    what-if runs past 416 ranks (the scaling bench's 512/1024-client
+    points); everything else — per-node CPUs, network, the single NFS
+    server — keeps the Turing calibration.
     """
     return MachineSpec(
         name="turing",
-        nnodes=208,
+        nnodes=nnodes,
         cpus_per_node=2,
         mem_per_node=1 * GB,
         cpu_speed=1.0,

@@ -13,6 +13,7 @@ produce identical traces.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -274,11 +275,30 @@ class Environment:
     for the common event types.
     """
 
+    #: Sampling stride for the queue-depth high-water mark kept by
+    #: :meth:`run` (power of two; sampled every N events).
+    _DEPTH_SAMPLE_MASK = 4095
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
+        #: The "now ladder": zero-delay NORMAL-priority events in
+        #: insertion order.  These are the overwhelming majority of
+        #: schedules (succeed/trigger chains), and a deque append/pop
+        #: replaces an O(log n) heap operation for each.  Entries are
+        #: full ``(time, priority, eid, event)`` tuples so the pop rule
+        #: is a plain tuple comparison against the heap head; because
+        #: time never decreases and eids increase, the deque is always
+        #: sorted, and the two-queue merge pops events in exactly the
+        #: single-heap order.
+        self._nowq: deque = deque()
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        #: Total events processed by :meth:`run`/:meth:`step` (scaling
+        #: diagnostics; maintained cheaply in the run loop).
+        self.events_processed = 0
+        #: Sampled high-water mark of the pending-event count.
+        self.max_queue_depth = 0
 
     @property
     def now(self) -> float:
@@ -313,23 +333,64 @@ class Environment:
     # -- scheduling ----------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to fire after ``delay`` time units."""
-        heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        if delay == 0.0 and priority == NORMAL:
+            self._nowq.append((self._now, NORMAL, next(self._eid), event))
+        else:
+            heappush(
+                self._queue, (self._now + delay, priority, next(self._eid), event)
+            )
+
+    def schedule_many(
+        self, events: Iterable[Event], priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Bulk-schedule ``events`` with one shared (priority, delay).
+
+        Semantically identical to calling :meth:`schedule` per event in
+        iteration order, but the queue selection, time arithmetic, and
+        attribute lookups are hoisted out of the loop — the win matters
+        when a collective or a batched I/O phase releases hundreds of
+        same-time events at once.
+        """
+        eid = self._eid
+        if delay == 0.0 and priority == NORMAL:
+            now = self._now
+            self._nowq.extend((now, NORMAL, next(eid), ev) for ev in events)
+        else:
+            queue = self._queue
+            at = self._now + delay
+            for ev in events:
+                heappush(queue, (at, priority, next(eid), ev))
+
+    def _pop_next(self):
+        """Pop the globally next (time, priority, eid, event) entry."""
+        nowq = self._nowq
+        queue = self._queue
+        if nowq:
+            if queue and queue[0] < nowq[0]:
+                return heappop(queue)
+            return nowq.popleft()
+        if queue:
+            return heappop(queue)
+        raise EmptySchedule()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        nowq = self._nowq
+        queue = self._queue
+        if nowq:
+            if queue and queue[0] < nowq[0]:
+                return queue[0][0]
+            return nowq[0][0]
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event.
 
         Raises :class:`EmptySchedule` if no events are left.
+        Keep in sync with the inlined loop in :meth:`run`.
         """
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        self._now, _, _, event = self._pop_next()
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
@@ -366,17 +427,31 @@ class Environment:
                 stop.callbacks.append(_stop_simulation)
                 self.schedule(stop, priority=URGENT, delay=at - self._now)
 
-        # Inlined step() with the queue bound locally: this loop
+        # Inlined step() with both queues bound locally: this loop
         # executes once per simulated event (millions per sweep), and
         # the per-iteration attribute/call overhead of delegating to
         # step() is measurable.  Keep the two bodies in sync.
         queue = self._queue
+        nowq = self._nowq
+        sample_mask = self._DEPTH_SAMPLE_MASK
+        nevents = 0
+        max_depth = self.max_queue_depth
         try:
             while True:
-                try:
+                if nowq:
+                    if queue and queue[0] < nowq[0]:
+                        self._now, _, _, event = heappop(queue)
+                    else:
+                        self._now, _, _, event = nowq.popleft()
+                elif queue:
                     self._now, _, _, event = heappop(queue)
-                except IndexError:
-                    raise EmptySchedule() from None
+                else:
+                    raise EmptySchedule()
+                nevents += 1
+                if not nevents & sample_mask:
+                    depth = len(queue) + len(nowq)
+                    if depth > max_depth:
+                        max_depth = depth
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is None:
                     continue  # already processed (condition shortcut)
@@ -395,6 +470,9 @@ class Environment:
                     "ran out of events before the awaited event fired"
                 ) from None
             return None
+        finally:
+            self.events_processed += nevents
+            self.max_queue_depth = max_depth
 
 
 def _stop_simulation(event: Event) -> None:

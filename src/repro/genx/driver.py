@@ -275,6 +275,14 @@ def run_genx(
     tracer: Optional[Tracer] = None,
 ) -> GENxRunResult:
     """Launch a full GENx job and aggregate the results."""
+    if config.io_mode == "rocpanda" and nprocs - config.nservers < config.nservers:
+        # Fail at setup instead of deadlocking mid-run: the topology
+        # contract (PR 6) requires at least as many clients as servers.
+        raise ValueError(
+            f"Rocpanda needs nclients >= nservers: {nprocs} ranks with "
+            f"{config.nservers} servers leaves only "
+            f"{nprocs - config.nservers} clients"
+        )
     job = run_spmd(machine, nprocs, genx_main(config), placement=placement, tracer=tracer)
     clients = [r for r in job.returns if isinstance(r, ClientReport)]
     servers = [r for r in job.returns if isinstance(r, ServerReport)]

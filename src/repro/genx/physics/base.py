@@ -32,6 +32,24 @@ def fastmean(a: np.ndarray) -> float:
     return np.add.reduce(a) / a.size
 
 
+class _PaneArrays:
+    """Window facade over one pane for the kernel hot loop.
+
+    ``kernel`` looks fields up per block per step through
+    ``window.get_array``; binding the pane's array dict once per
+    (block, step) turns each lookup into a plain dict hit while the
+    kernels keep the window-shaped call they use in tests.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self, arrays):
+        self._arrays = arrays
+
+    def get_array(self, attr_name: str, pane_id: int) -> np.ndarray:
+        return self._arrays[attr_name]
+
+
 def rolled(a: np.ndarray, shift: int) -> np.ndarray:
     """``np.roll`` for 1-D arrays with shift ±1, without its overhead.
 
@@ -128,8 +146,9 @@ class PhysicsModule:
     def advance(self, ctx, dt: float, step: int):
         """Generator: one timestep — real data update + virtual time."""
         window = self.com.window(self.window_name)
+        panes = window._panes
         for block in self.blocks:
-            self.kernel(window, block, dt, step)
+            self.kernel(_PaneArrays(panes[block.block_id]._arrays), block, dt, step)
         yield from ctx.compute(self.nominal_step_cost())
 
     def local_dt_limit(self) -> float:

@@ -119,6 +119,10 @@ class ServerStats:
     background_write_time: float = 0.0
     restart_blocks_sent: int = 0
     peak_buffered_bytes: int = 0
+    #: Blocks that arrived before their path's WriteBegin (message
+    #: reordering between eager control and rendezvous data traffic)
+    #: and were stashed until the announcement landed.
+    orphan_blocks_stashed: int = 0
     #: Resilience accounting.
     crashed: bool = False
     write_retries: int = 0
@@ -172,6 +176,14 @@ class PandaServer:
         self._buffered_bytes = 0
         self._shutdown_ranks: set = set()
         self._sync_waiters: List[Tuple[int, int]] = []
+        #: path -> [(client, BlockEnvelope | BlockBatch), ...] that
+        #: arrived before the path's first WriteBegin.  A small eager
+        #: WriteBegin queues on the destination NIC while a rendezvous
+        #: block announcement (a control message that skips the NIC)
+        #: lands ahead of it — at 256+ ranks with >16 KiB blocks this
+        #: reordering is routine, so the server stashes the early
+        #: blocks and replays them when the announcement arrives.
+        self._orphans: Dict[str, List[Tuple[int, Any]]] = {}
         self._restart_requests: Dict[str, Dict[int, RestartRequest]] = {}
         self._faults = getattr(ctx.machine, "faults", None)
         #: Reused by _expected_clients when no injector is installed
@@ -232,6 +244,14 @@ class PandaServer:
                 status = yield from world.probe(ANY_SOURCE, ANY_TAG)
                 yield from self._handle_one(status)
             self._answer_sync_waiters()
+        if self._orphans:
+            # A stashed block whose WriteBegin never arrived is a real
+            # protocol violation, not transient reordering.
+            paths = sorted(self._orphans)
+            raise ProtocolError(
+                f"server rank {self.ctx.rank} shut down with data blocks "
+                f"for paths {paths} that never saw a WriteBegin"
+            )
         yield from self._close_finished_paths(force=True)
         self._answer_sync_waiters()
         ctx.trace("panda-server", "shutdown complete")
@@ -272,7 +292,7 @@ class PandaServer:
         world = self.topo.world
         msg, st = yield from world.recv(source=status.source, tag=status.tag)
         if isinstance(msg, WriteBegin):
-            self._on_write_begin(st.source, msg)
+            yield from self._on_write_begin(st.source, msg)
         elif isinstance(msg, BlockEnvelope):
             yield from self._on_block(st.source, msg)
         elif isinstance(msg, BlockBatch):
@@ -286,7 +306,7 @@ class PandaServer:
         else:
             raise TypeError(f"server got unexpected message {type(msg).__name__}")
 
-    def _on_write_begin(self, client: int, msg: WriteBegin) -> None:
+    def _on_write_begin(self, client: int, msg: WriteBegin):
         state = self._paths.setdefault(msg.path, _PathState())
         state.begun.add(client)
         state.expected[client] = msg.nblocks
@@ -307,8 +327,30 @@ class PandaServer:
                 visible=not self.config.active_buffering,
             )
             state.writer_attrs = dict(msg.file_attrs)
+        orphans = self._orphans.pop(msg.path, None)
+        if orphans:
+            # Replay blocks that overtook this announcement; their
+            # ingest cost is charged now, at processing time.
+            for oclient, omsg in orphans:
+                if isinstance(omsg, BlockBatch):
+                    yield from self._on_block_batch(oclient, omsg)
+                else:
+                    yield from self._on_block(oclient, omsg)
+
+    def _stash_orphan(self, client: int, msg) -> None:
+        """Hold a block that arrived before its path's WriteBegin."""
+        self._orphans.setdefault(msg.path, []).append((client, msg))
+        self.stats.orphan_blocks_stashed += 1
+        if self.ctx.recorder is not None:
+            self.ctx.recorder.record_counter("rocpanda", "orphan_blocks_stashed")
 
     def _on_block(self, client: int, msg: BlockEnvelope):
+        state = self._paths.get(msg.path)
+        if state is None or state.writer is None:
+            # The data overtook the (eager, NIC-queued) WriteBegin:
+            # stash it until the announcement lands.
+            self._stash_orphan(client, msg)
+            return
         cfg = self.config
         block = msg.block
         nbytes = block.nbytes
@@ -317,13 +359,6 @@ class PandaServer:
         t0 = self.ctx.now
         # Buffer-management / protocol bookkeeping per block.
         yield self.ctx.env.timeout(cfg.ingest_overhead)
-        state = self._paths.get(msg.path)
-        if state is None or state.writer is None:
-            raise ProtocolError(
-                f"server rank {self.ctx.rank} received a data block from "
-                f"client {client} for path {msg.path!r} without a preceding "
-                f"WriteBegin"
-            )
         key = (client, block.block_id)
         if key in state.seen:
             # A resend whose first copy also arrived (duplicated message
@@ -376,6 +411,10 @@ class PandaServer:
         per-block path uses, so a re-shipped batch after failover drops
         exactly the blocks the first delivery already landed.
         """
+        state = self._paths.get(msg.path)
+        if state is None or state.writer is None:
+            self._stash_orphan(client, msg)
+            return
         cfg = self.config
         blocks = msg.blocks
         total = sum(b.nbytes for b in blocks)
@@ -384,13 +423,6 @@ class PandaServer:
         t0 = self.ctx.now
         # One bookkeeping charge per aggregated message.
         yield self.ctx.env.timeout(cfg.ingest_overhead)
-        state = self._paths.get(msg.path)
-        if state is None or state.writer is None:
-            raise ProtocolError(
-                f"server rank {self.ctx.rank} received a block batch from "
-                f"client {client} for path {msg.path!r} without a preceding "
-                f"WriteBegin"
-            )
         fresh = []
         for eb in blocks:
             key = (client, eb.block_id)

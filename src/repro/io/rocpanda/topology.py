@@ -35,6 +35,15 @@ def server_ranks(nprocs: int, nservers: int) -> List[int]:
     """Global ranks dedicated as I/O servers: ``0, s, 2s, ...``."""
     if not 0 < nservers <= nprocs:
         raise ValueError(f"need 0 < nservers ({nservers}) <= nprocs ({nprocs})")
+    if nprocs - nservers < nservers:
+        # The stride-based layout needs at least one client per server;
+        # fewer clients than servers would interleave server ranks at
+        # stride 1 and leave tail servers with no clients — the run
+        # would hang waiting for Shutdowns that can never come.
+        raise ValueError(
+            f"Rocpanda needs nclients >= nservers: {nprocs} ranks with "
+            f"{nservers} servers leaves only {nprocs - nservers} clients"
+        )
     stride = nprocs // nservers
     ranks = [i * stride for i in range(nservers)]
     return ranks

@@ -305,7 +305,7 @@ def encode_header(attrs: dict) -> bytes:
 #: of small-record encode time — is paid once per dataset identity.
 #: Keys carry each attr value's *type* because hash-equal values of
 #: different types (True vs 1, 1 vs 1.0) encode differently.
-_PREFIX_MEMO_CAP = 4096
+_PREFIX_MEMO_CAP = 65536
 _prefix_memo: "OrderedDict[tuple, bytes]" = OrderedDict()
 
 

@@ -15,6 +15,25 @@ This reproduces the back-pressure that matters for Rocpanda: a client
 cannot complete a large send while its I/O server is busy elsewhere —
 which is exactly why the servers' probe-between-writes policy (§6.1)
 keeps client-visible time low.
+
+Collectives come in two selectable algorithm families
+(``Comm.collective_algo``):
+
+* ``"tree"`` (default) — binomial trees rooted at the caller's root:
+  O(log P) communication rounds per collective, with aggregated
+  payloads carried as explicit ``(comm_rank, obj)`` pairs so placement
+  stays rank-ordered for arbitrary roots and non-contiguous
+  sub-communicators.  ``alltoall`` runs flat pairwise rounds (send to
+  ``rank+r``, receive from ``rank-r``) instead of spawning one DES
+  process per destination.
+* ``"linear"`` — the original O(P)-at-the-root loops, kept verbatim as
+  the executable specification; property tests prove both families
+  payload-identical.
+
+Tag space: user tags live in ``[0, _COLL_TAG_BASE)``; collectives use
+an internal rotating window above the base.  Public point-to-point
+calls validate tags eagerly and raise :class:`MPIError` on a reserved
+tag, so application traffic can never cross-match collective traffic.
 """
 
 from __future__ import annotations
@@ -35,8 +54,35 @@ from .datatypes import (
 
 __all__ = ["Comm", "Request", "SendStream"]
 
-#: Base of the internal tag space used by collectives.
+#: Base of the internal tag space reserved for collectives.  User tags
+#: must satisfy ``0 <= tag < _COLL_TAG_BASE``.
 _COLL_TAG_BASE = 1 << 20
+#: Width of the rotating collective-tag window above the base.  The
+#: per-communicator sequence wraps inside it, so an arbitrarily long
+#: run never walks the tag into unbounded integers (two collectives
+#: 2^20 calls apart reusing a tag cannot be simultaneously in flight —
+#: collectives are globally ordered per communicator).
+_COLL_TAG_SPAN = 1 << 20
+
+
+def _check_send_tag(tag: int) -> None:
+    """Reject reserved/negative tags on the send side (MPI-style)."""
+    if not 0 <= tag < _COLL_TAG_BASE:
+        raise MPIError(
+            f"tag {tag} outside the application tag range "
+            f"[0, {_COLL_TAG_BASE}); tags >= {_COLL_TAG_BASE} are "
+            f"reserved for collectives"
+        )
+
+
+def _check_recv_tag(tag: int) -> None:
+    """Reject reserved tags on the receive side (ANY_TAG allowed)."""
+    if tag != ANY_TAG and not 0 <= tag < _COLL_TAG_BASE:
+        raise MPIError(
+            f"tag {tag} outside the application tag range "
+            f"[0, {_COLL_TAG_BASE}); tags >= {_COLL_TAG_BASE} are "
+            f"reserved for collectives"
+        )
 
 
 class Request:
@@ -66,6 +112,12 @@ class Comm:
     SPMD program).
     """
 
+    #: Collective algorithm family: ``"tree"`` (binomial, O(log P)
+    #: rounds — the default) or ``"linear"`` (the original O(P) loops,
+    #: kept as executable spec).  Override per instance to compare;
+    #: sub-communicators created by :meth:`split` inherit the setting.
+    collective_algo = "tree"
+
     def __init__(self, job, comm_id: int, group: Tuple[int, ...], rank: int):
         self.job = job
         self.id = comm_id
@@ -78,8 +130,10 @@ class Comm:
         self._recorder = getattr(job, "recorder", None)
         #: Lazy caches for per-message lookups (comm rank -> Node /
         #: Mailbox); both mappings are stable for the job's lifetime.
-        self._node_cache = {}
-        self._mailbox_cache = {}
+        #: Array-backed: comm ranks are dense, so a flat list beats a
+        #: dict hash per message on the hot path.
+        self._node_cache = [None] * len(self.group)
+        self._mailbox_cache = [None] * len(self.group)
 
     # -- introspection ----------------------------------------------------
     @property
@@ -94,13 +148,13 @@ class Comm:
         return self.group[self.rank if rank is None else rank]
 
     def _node(self, rank: int):
-        node = self._node_cache.get(rank)
+        node = self._node_cache[rank]
         if node is None:
             node = self._node_cache[rank] = self.job.context(self.group[rank]).node
         return node
 
     def _mailbox(self, rank: int):
-        box = self._mailbox_cache.get(rank)
+        box = self._mailbox_cache[rank]
         if box is None:
             box = self._mailbox_cache[rank] = self.job.mailbox(self.id, self.group[rank])
         return box
@@ -111,7 +165,16 @@ class Comm:
 
     # -- point-to-point ----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0):
-        """Generator: blocking send of ``obj`` to comm rank ``dest``."""
+        """Blocking send of ``obj`` to comm rank ``dest`` (generator).
+
+        Raises :class:`MPIError` eagerly for tags in the reserved
+        collective range (see module docstring).
+        """
+        _check_send_tag(tag)
+        return self._send(obj, dest, tag)
+
+    def _send(self, obj: Any, dest: int, tag: int = 0):
+        """Generator: blocking send, no tag validation (internal/collective)."""
         self._check_rank(dest, "dest")
         network = self.job.network
         env = self.env
@@ -197,7 +260,16 @@ class Comm:
         return SendStream(self, dest, tag)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Generator: blocking receive; returns ``(payload, Status)``."""
+        """Blocking receive (generator); returns ``(payload, Status)``.
+
+        Raises :class:`MPIError` eagerly for tags in the reserved
+        collective range (``ANY_TAG`` is allowed).
+        """
+        _check_recv_tag(tag)
+        return self._recv(source, tag)
+
+    def _recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: blocking receive, no tag validation (internal)."""
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         env = self.env
@@ -233,6 +305,10 @@ class Comm:
           decide using its own liveness knowledge; receiver-side
           duplicate suppression makes a resend safe.
         """
+        _check_send_tag(tag)
+        return self._send_with_timeout(obj, dest, tag, timeout)
+
+    def _send_with_timeout(self, obj: Any, dest: int, tag: int, timeout: float):
         self._check_rank(dest, "dest")
         network = self.job.network
         env = self.env
@@ -314,6 +390,10 @@ class Comm:
         :meth:`recv`.  On timeout the pending match is cancelled so it
         cannot steal a later delivery.
         """
+        _check_recv_tag(tag)
+        return self._recv_with_timeout(source, tag, timeout)
+
+    def _recv_with_timeout(self, source: int, tag: int, timeout: float):
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
         env = self.env
@@ -341,10 +421,14 @@ class Comm:
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; returns a :class:`Request`."""
+        _check_send_tag(tag)
+        return self._isend(obj, dest, tag)
+
+    def _isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         request = Request(self.env)
 
         def _proc():
-            yield from self.send(obj, dest, tag)
+            yield from self._send(obj, dest, tag)
             request._event.succeed(None)
 
         self.env.process(_proc(), name=f"isend:{self.rank}->{dest}")
@@ -352,10 +436,11 @@ class Comm:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; ``wait()`` returns ``(payload, Status)``."""
+        _check_recv_tag(tag)
         request = Request(self.env)
 
         def _proc():
-            result = yield from self.recv(source, tag)
+            result = yield from self._recv(source, tag)
             request._event.succeed(result)
 
         self.env.process(_proc(), name=f"irecv:{self.rank}")
@@ -366,11 +451,16 @@ class Comm:
 
         Returns its :class:`Status` without consuming the message.
         """
+        _check_recv_tag(tag)
+        return self._probe(source, tag)
+
+    def _probe(self, source: int, tag: int):
         envelope = yield self._mailbox(self.rank).peek_matching(source, tag)
         return envelope.status()
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
         """Immediate probe: Status of a matching pending message, or None."""
+        _check_recv_tag(tag)
         envelope = self._mailbox(self.rank).find(source, tag)
         return None if envelope is None else envelope.status()
 
@@ -379,9 +469,11 @@ class Comm:
         """Internal tag for the next collective call.
 
         All members must invoke collectives in the same order (standard
-        MPI requirement), so the per-rank counter stays aligned.
+        MPI requirement), so the per-rank counter stays aligned.  The
+        sequence rotates inside ``_COLL_TAG_SPAN`` so tags stay bounded
+        on arbitrarily long runs.
         """
-        self._coll_seq += 1
+        self._coll_seq = self._coll_seq % _COLL_TAG_SPAN + 1
         return _COLL_TAG_BASE + self._coll_seq
 
     def barrier(self):
@@ -392,7 +484,9 @@ class Comm:
     def bcast(self, obj: Any, root: int = 0, _tag: Optional[int] = None):
         """Generator: broadcast ``obj`` from ``root``; returns the object.
 
-        Binomial-tree propagation: latency scales as O(log P).
+        Binomial-tree propagation: latency scales as O(log P).  (The
+        tree IS the executable spec here — both algorithm families
+        share it.)
         """
         self._check_rank(root, "root")
         tag = self._coll_tag() if _tag is None else _tag
@@ -405,14 +499,14 @@ class Comm:
         while mask < size:
             if vrank & mask:
                 src = (self.rank - mask) % size
-                obj, _ = yield from self.recv(source=src, tag=tag)
+                obj, _ = yield from self._recv(source=src, tag=tag)
                 break
             mask <<= 1
         mask >>= 1
         while mask > 0:
             if vrank + mask < size:
                 dst = (self.rank + mask) % size
-                yield from self.send(obj, dest=dst, tag=tag)
+                yield from self._send(obj, dest=dst, tag=tag)
             mask >>= 1
         return obj
 
@@ -423,34 +517,117 @@ class Comm:
         """
         self._check_rank(root, "root")
         tag = self._coll_tag() if _tag is None else _tag
+        if self.size == 1:
+            return [obj]
+        if self.collective_algo == "tree":
+            result = yield from self._gather_tree(obj, root, tag)
+        else:
+            result = yield from self._gather_linear(obj, root, tag)
+        return result
+
+    def _gather_linear(self, obj: Any, root: int, tag: int):
+        """Executable spec: O(P) receives at the root, arrival order."""
         if self.rank != root:
-            yield from self.send(obj, dest=root, tag=tag)
+            yield from self._send(obj, dest=root, tag=tag)
             return None
         result: List[Any] = [None] * self.size
         result[root] = obj
         # Receive in arrival order (cheaper matching than per-source
         # receives); placement by status keeps rank order in the result.
         for _ in range(self.size - 1):
-            payload, status = yield from self.recv(source=ANY_SOURCE, tag=tag)
+            payload, status = yield from self._recv(source=ANY_SOURCE, tag=tag)
             result[status.source] = payload
+        return result
+
+    def _gather_tree(self, obj: Any, root: int, tag: int):
+        """Binomial-tree gather: O(log P) rounds, aggregated payloads.
+
+        Every node accumulates ``(comm_rank, obj)`` pairs from its
+        subtree before forwarding them to its parent, so the root can
+        place items by explicit rank — identical placement to the
+        linear spec for any root and any (non-contiguous) group.
+        """
+        size = self.size
+        rank = self.rank
+        vrank = (rank - root) % size
+        items: List[Tuple[int, Any]] = [(rank, obj)]
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = (vrank - mask + root) % size
+                yield from self._send(items, dest=parent, tag=tag)
+                return None
+            child_v = vrank + mask
+            if child_v < size:
+                child = (child_v + root) % size
+                payload, _ = yield from self._recv(source=child, tag=tag)
+                items.extend(payload)
+            mask <<= 1
+        result: List[Any] = [None] * size
+        for r, payload in items:
+            result[r] = payload
         return result
 
     def scatter(self, objs: Optional[List[Any]], root: int = 0, _tag: Optional[int] = None):
         """Generator: root sends ``objs[i]`` to rank ``i``; returns own item."""
         self._check_rank(root, "root")
         tag = self._coll_tag() if _tag is None else _tag
+        if self.rank == root and (objs is None or len(objs) != self.size):
+            raise MPIError(
+                f"scatter root needs a list of exactly {self.size} items"
+            )
+        if self.size == 1:
+            return objs[0]
+        if self.collective_algo == "tree":
+            result = yield from self._scatter_tree(objs, root, tag)
+        else:
+            result = yield from self._scatter_linear(objs, root, tag)
+        return result
+
+    def _scatter_linear(self, objs: Optional[List[Any]], root: int, tag: int):
+        """Executable spec: O(P) sends from the root."""
         if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise MPIError(
-                    f"scatter root needs a list of exactly {self.size} items"
-                )
             for dst in range(self.size):
                 if dst == root:
                     continue
-                yield from self.send(objs[dst], dest=dst, tag=tag)
+                yield from self._send(objs[dst], dest=dst, tag=tag)
             return objs[root]
-        payload, _ = yield from self.recv(source=root, tag=tag)
+        payload, _ = yield from self._recv(source=root, tag=tag)
         return payload
+
+    def _scatter_tree(self, objs: Optional[List[Any]], root: int, tag: int):
+        """Binomial-tree scatter: each node forwards subtree bundles.
+
+        Items travel as ``(virtual_rank, obj)`` pairs; a node at
+        virtual rank v (span = lowest set bit of v, or the next power
+        of two above ``size`` at the root) peels off the half-spans
+        ``[v + span/2, v + span)`` for its children, largest first.
+        """
+        size = self.size
+        rank = self.rank
+        vrank = (rank - root) % size
+        if vrank == 0:
+            held = [(v, objs[(v + root) % size]) for v in range(size)]
+            span = 1
+            while span < size:
+                span <<= 1
+        else:
+            span = vrank & -vrank  # lowest set bit
+            parent = (vrank - span + root) % size
+            held, _ = yield from self._recv(source=parent, tag=tag)
+        half = span >> 1
+        while half:
+            child_v = vrank + half
+            if child_v < size:
+                mine: List[Tuple[int, Any]] = []
+                theirs: List[Tuple[int, Any]] = []
+                for v, o in held:
+                    (theirs if v >= child_v else mine).append((v, o))
+                child = (child_v + root) % size
+                yield from self._send(theirs, dest=child, tag=tag)
+                held = mine
+            half >>= 1
+        return held[0][1]
 
     def allgather(self, obj: Any):
         """Generator: gather to rank 0, then broadcast the list."""
@@ -485,17 +662,63 @@ class Comm:
         if len(objs) != self.size:
             raise MPIError(f"alltoall needs exactly {self.size} items")
         tag = self._coll_tag()
+        if self.size == 1:
+            return [objs[0]]
+        if self.collective_algo == "tree":
+            result = yield from self._alltoall_flat(objs, tag)
+        else:
+            result = yield from self._alltoall_linear(objs, tag)
+        return result
+
+    def _alltoall_linear(self, objs: List[Any], tag: int):
+        """Executable spec: one concurrent isend per destination.
+
+        Spawns ``size - 1`` DES processes per member (O(P^2) live
+        processes across the job) — correct, but the process churn is
+        what the flat pairwise schedule exists to avoid.
+        """
         result: List[Any] = [None] * self.size
         result[self.rank] = objs[self.rank]
         requests = []
         for dst in range(self.size):
             if dst != self.rank:
-                requests.append(self.isend(objs[dst], dest=dst, tag=tag))
+                requests.append(self._isend(objs[dst], dest=dst, tag=tag))
         for _ in range(self.size - 1):
-            payload, status = yield from self.recv(source=ANY_SOURCE, tag=tag)
+            payload, status = yield from self._recv(source=ANY_SOURCE, tag=tag)
             result[status.source] = payload
         for request in requests:
             yield from request.wait()
+        return result
+
+    def _alltoall_flat(self, objs: List[Any], tag: int):
+        """Pairwise-rounds exchange: flat sends, no process fan-out.
+
+        Round ``r`` sends to ``rank + r`` and receives from
+        ``rank - r`` (mod P): in any round every rank's destination is
+        simultaneously receiving from that rank, so the schedule is
+        deadlock-free.  Eager payloads ride the network's callback
+        chain inline; only a rendezvous-sized payload needs one
+        (sequential, not concurrent) helper process so its handshake
+        can overlap this rank's receive.
+        """
+        size = self.size
+        rank = self.rank
+        network = self.job.network
+        result: List[Any] = [None] * size
+        result[rank] = objs[rank]
+        for r in range(1, size):
+            dst = (rank + r) % size
+            src = (rank - r) % size
+            obj = objs[dst]
+            if network.is_eager(payload_nbytes(obj)):
+                # Fire-and-forget: _send returns after sw_overhead.
+                yield from self._send(obj, dest=dst, tag=tag)
+                payload, _ = yield from self._recv(source=src, tag=tag)
+            else:
+                request = self._isend(obj, dest=dst, tag=tag)
+                payload, _ = yield from self._recv(source=src, tag=tag)
+                yield from request.wait()
+            result[src] = payload
         return result
 
     # -- communicator management ----------------------------------------------
@@ -528,7 +751,10 @@ class Comm:
         if my_plan is None:
             return None
         new_id, group, new_rank = my_plan
-        return Comm(self.job, new_id, group, new_rank)
+        sub = Comm(self.job, new_id, group, new_rank)
+        # Sub-communicators keep the parent's collective algorithm.
+        sub.collective_algo = self.collective_algo
+        return sub
 
     def dup(self):
         """Generator: duplicate this communicator (fresh message space)."""
@@ -557,6 +783,7 @@ class SendStream:
     )
 
     def __init__(self, comm: Comm, dest: int, tag: int):
+        _check_send_tag(tag)
         comm._check_rank(dest, "dest")
         self.comm = comm
         self.dest = dest

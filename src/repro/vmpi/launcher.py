@@ -211,7 +211,11 @@ class Job:
         #: Mailbox implementation used for every rank/communicator pair
         #: (swappable so benchmarks can compare matcher implementations).
         self._mailbox_factory = mailbox_factory or Mailbox
-        self._mailboxes: Dict[Tuple[int, int], Mailbox] = {}
+        #: comm_id -> per-global-rank mailbox array.  Global ranks are
+        #: dense, so each communicator holds a flat list instead of a
+        #: (comm_id, rank)-keyed dict — one list index per message in
+        #: place of a tuple hash.
+        self._mailboxes: Dict[int, List[Optional[Mailbox]]] = {}
         self._next_comm_id = 1  # 0 = world
 
     # -- registry used by Comm ----------------------------------------------
@@ -219,10 +223,12 @@ class Job:
         return self.contexts[global_rank]
 
     def mailbox(self, comm_id: int, global_rank: int) -> Mailbox:
-        key = (comm_id, global_rank)
-        box = self._mailboxes.get(key)
+        boxes = self._mailboxes.get(comm_id)
+        if boxes is None:
+            boxes = self._mailboxes[comm_id] = [None] * self.nprocs
+        box = boxes[global_rank]
         if box is None:
-            box = self._mailboxes[key] = self._mailbox_factory(self.env)
+            box = boxes[global_rank] = self._mailbox_factory(self.env)
         return box
 
     def alloc_comm_id(self) -> int:

@@ -67,13 +67,14 @@ class TestTopology:
     def test_server_ranks_stride(self):
         assert server_ranks(18, 2) == [0, 9]
         assert server_ranks(8, 2) == [0, 4]
-        assert server_ranks(4, 4) == [0, 1, 2, 3]
 
     def test_server_ranks_invalid(self):
         with pytest.raises(ValueError):
             server_ranks(4, 0)
         with pytest.raises(ValueError):
             server_ranks(4, 5)
+        with pytest.raises(ValueError, match="nclients >= nservers"):
+            server_ranks(4, 4)
 
     def test_init_splits_world(self):
         def body(ctx, topo, com, panda):

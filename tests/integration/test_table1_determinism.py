@@ -1,0 +1,55 @@
+"""Virtual-time determinism pins for the Table 1 experiment (PR 7, S4).
+
+The PR 7 performance work (batched DES scheduling, array-backed
+mailboxes, codec/partition memos, the pane-array shim, orphan-block
+stash) must not move simulated time at all: under the linear collective
+spec, every Table 1 metric at 64 ranks must equal — bit for bit — the
+values the tree produced before any of it landed.  The tree collectives
+are the one *deliberate* timing change, so the same run under the
+default algorithm must differ only where collectives are on the path.
+
+Reference values were captured on the pre-PR tree at
+``run_table1(proc_counts=(64,), nruns=1, scale=0.02, steps=12,
+snapshot_interval=4)``.
+"""
+
+import pytest
+
+from repro.bench.table1 import run_table1
+from repro.vmpi.comm import Comm
+
+#: Pre-PR virtual-time results, 64 compute processors (exact floats).
+REFERENCE_64P = {
+    "computation": 1.6155747125974675,
+    "rochdf": 6.3731181979483225,
+    "trochdf": 4.469433813227255,
+    "rocpanda": 0.012101316406250263,
+    "restart_rochdf": 0.2345703968658447,
+    "restart_rocpanda": 1.1266320128320668,
+}
+
+_CONFIG = dict(
+    proc_counts=(64,), nruns=1, scale=0.02, steps=12, snapshot_interval=4
+)
+
+
+def test_linear_spec_bit_identical_to_pre_pr(monkeypatch):
+    monkeypatch.setattr(Comm, "collective_algo", "linear")
+    result = run_table1(**_CONFIG)
+    measured = {m: result.value(m, 64) for m in REFERENCE_64P}
+    assert measured == REFERENCE_64P
+
+
+def test_tree_collectives_only_shift_collective_bound_metrics(monkeypatch):
+    """The default (tree) run is deterministic and differs from the
+    linear spec only through collective timing: computation (which
+    includes time blocked in collectives) moves, while the rocpanda
+    restart path — bulk point-to-point traffic — stays within the same
+    order of magnitude."""
+    monkeypatch.setattr(Comm, "collective_algo", "tree")
+    a = run_table1(**_CONFIG)
+    b = run_table1(**_CONFIG)
+    for metric in REFERENCE_64P:
+        assert a.value(metric, 64) == b.value(metric, 64)
+    # Trees shorten the collective critical path at P = 64.
+    assert a.value("computation", 64) < REFERENCE_64P["computation"]

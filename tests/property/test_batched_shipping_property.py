@@ -57,7 +57,9 @@ def _run(batched, nservers, nclients, layout, nsnapshots, seed):
 @st.composite
 def layouts(draw):
     nservers = draw(st.integers(min_value=1, max_value=3))
-    nclients = draw(st.integers(min_value=1, max_value=4))
+    # The stride-based topology requires nclients >= nservers (enforced
+    # at rocpanda_init); only generate layouts the contract admits.
+    nclients = draw(st.integers(min_value=nservers, max_value=4))
     layout = [
         [
             (

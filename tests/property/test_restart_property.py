@@ -205,7 +205,7 @@ def _restart(disk, ids, nservers, nclients, batched, seed):
 @st.composite
 def restart_shapes(draw):
     nservers_w = draw(st.integers(min_value=1, max_value=3))
-    nclients_w = draw(st.integers(min_value=1, max_value=4))
+    nclients_w = draw(st.integers(min_value=nservers_w, max_value=4))
     layout = [
         [
             (

@@ -1,0 +1,128 @@
+"""Property tests: tree collectives are payload-identical to the
+linear executable spec (PR 7, S4).
+
+For arbitrary communicator sizes, roots, and payloads, running the
+same job under ``collective_algo = "tree"`` and ``"linear"`` must
+return exactly the same values on every rank — the tree rewrite may
+only change *virtual timing*, never data placement.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.vmpi import run_spmd
+
+
+def launch(nprocs, main, seed=0):
+    machine = Machine(make_testbox(nnodes=8, cpus_per_node=8), seed=seed)
+    return run_spmd(machine, nprocs, main)
+
+
+def run_both(size, body):
+    """Run ``body(ctx, out)`` under each algorithm; return both outs."""
+    results = []
+    for algo in ("tree", "linear"):
+        out = {}
+
+        def main(ctx):
+            ctx.world.collective_algo = algo
+            yield from body(ctx, out)
+
+        launch(size, main)
+        results.append(out)
+    return results
+
+
+SIZES = st.sampled_from([1, 2, 3, 5, 8])
+PAYLOADS = st.lists(
+    st.one_of(st.integers(-999, 999), st.text(max_size=6)),
+    min_size=8,
+    max_size=8,
+)
+
+
+@given(SIZES, st.integers(0, 63), PAYLOADS)
+@settings(max_examples=30, deadline=None)
+def test_gather_tree_equals_linear(size, root_raw, payloads):
+    root = root_raw % size
+
+    def body(ctx, out):
+        out[ctx.rank] = yield from ctx.world.gather(
+            payloads[ctx.rank], root=root
+        )
+
+    tree, linear = run_both(size, body)
+    assert tree == linear
+    assert tree[root] == [payloads[r] for r in range(size)]
+
+
+@given(SIZES, st.integers(0, 63), PAYLOADS)
+@settings(max_examples=30, deadline=None)
+def test_scatter_tree_equals_linear(size, root_raw, payloads):
+    root = root_raw % size
+
+    def body(ctx, out):
+        items = payloads[:size] if ctx.rank == root else None
+        out[ctx.rank] = yield from ctx.world.scatter(items, root=root)
+
+    tree, linear = run_both(size, body)
+    assert tree == linear
+    assert tree == {r: payloads[r] for r in range(size)}
+
+
+@given(SIZES, PAYLOADS)
+@settings(max_examples=25, deadline=None)
+def test_allgather_and_alltoall_tree_equals_linear(size, payloads):
+    def body(ctx, out):
+        ag = yield from ctx.world.allgather(payloads[ctx.rank])
+        a2a = yield from ctx.world.alltoall(
+            [(payloads[ctx.rank], d) for d in range(size)]
+        )
+        out[ctx.rank] = (ag, a2a)
+
+    tree, linear = run_both(size, body)
+    assert tree == linear
+    for r in range(size):
+        assert tree[r][0] == [payloads[i] for i in range(size)]
+        assert tree[r][1] == [(payloads[s], r) for s in range(size)]
+
+
+@given(SIZES, st.integers(0, 63), st.lists(st.text(max_size=4), min_size=8, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_reduce_noncommutative_tree_equals_linear(size, root_raw, parts):
+    """Reduce with a non-commutative/non-associative op: both
+    algorithms must produce the comm-rank-order left fold."""
+    root = root_raw % size
+
+    def body(ctx, out):
+        out[ctx.rank] = yield from ctx.world.reduce(
+            [parts[ctx.rank]], op=lambda a, b: a + b, root=root
+        )
+
+    tree, linear = run_both(size, body)
+    assert tree == linear
+    assert tree[root] == [parts[r] for r in range(size)]
+
+
+def test_suite_equivalence_at_64_ranks():
+    """One deterministic large case: the full collective suite at
+    P = 64 (several tree levels deep, past every pow-2 boundary)."""
+    size = 64
+
+    def body(ctx, out):
+        g = yield from ctx.world.gather(ctx.rank * 7, root=37)
+        s = yield from ctx.world.scatter(
+            list(range(0, size * 3, 3)) if ctx.rank == 11 else None, root=11
+        )
+        ag = yield from ctx.world.allgather((ctx.rank, "x"))
+        red = yield from ctx.world.reduce(
+            f"{ctx.rank:02d}", op=lambda a, b: a + b, root=5
+        )
+        out[ctx.rank] = (g, s, ag, red)
+
+    tree, linear = run_both(size, body)
+    assert tree == linear
+    assert tree[11][1] == 33
+    assert tree[5][3] == "".join(f"{r:02d}" for r in range(size))

@@ -1,0 +1,120 @@
+"""Unit tests for the scaling benchmark harness (PR 7 tentpole)."""
+
+from repro.bench.scale import (
+    QUICK_POINTS,
+    STRONG_POINTS,
+    attach_scale_speedups,
+    bench_scale_point,
+    check_scale_regressions,
+    render_scale,
+)
+from repro.genx.workloads import lab_scale_motor
+
+
+def tiny_workload():
+    return lab_scale_motor(
+        scale=0.002, nblocks_fluid=16, nblocks_solid=8,
+        steps=4, snapshot_interval=2,
+    )
+
+
+def make_point(curve_n, host_wall):
+    return {
+        "nclients": curve_n,
+        "nservers": max(1, curve_n // 8),
+        "nranks": curve_n + max(1, curve_n // 8),
+        "host_wall_s": host_wall,
+        "virtual_wall_s": 10.0,
+        "computation_s": 2.0,
+        "visible_io_s": 0.1,
+        "events_processed": 1000,
+        "events_per_sec": 1000 / host_wall,
+        "max_queue_depth": 40,
+    }
+
+
+def make_payload(points, host_walls, quick=False):
+    return {
+        "schema": "scalebench-v1",
+        "quick": quick,
+        "points": list(points),
+        "strong": [make_point(n, w) for n, w in zip(points, host_walls)],
+        "weak": [make_point(n, w) for n, w in zip(points, host_walls)],
+    }
+
+
+class TestBenchScalePoint:
+    def test_reports_both_clocks(self):
+        point = bench_scale_point(tiny_workload(), 8, prefix="ts")
+        assert point["nclients"] == 8
+        assert point["nservers"] == 1
+        assert point["nranks"] == 9
+        assert point["host_wall_s"] > 0
+        assert point["virtual_wall_s"] > 0
+        assert point["computation_s"] > 0
+        assert point["events_processed"] > 0
+        assert point["events_per_sec"] > 0
+        assert point["max_queue_depth"] >= 0
+
+    def test_sweep_points(self):
+        assert STRONG_POINTS == (64, 128, 256, 512, 1024)
+        assert QUICK_POINTS == (128,)
+
+
+class TestSpeedupAttachment:
+    def test_speedups_attach_per_point(self):
+        baseline = make_payload([64, 128], [10.0, 20.0])
+        payload = make_payload([64, 128], [5.0, 40.0])
+        attach_scale_speedups(payload, baseline)
+        speedups = payload["speedup_vs_baseline"]
+        assert speedups["strong_64"] == 2.0
+        assert speedups["strong_128"] == 0.5
+        assert speedups["weak_64"] == 2.0
+        assert payload["baseline"] is baseline
+
+    def test_mismatched_points_drop_comparison(self):
+        baseline = make_payload([64, 128], [10.0, 20.0])
+        payload = make_payload([128], [5.0], quick=True)
+        attach_scale_speedups(payload, baseline)
+        assert "speedup_vs_baseline" not in payload
+
+    def test_none_baseline_is_noop(self):
+        payload = make_payload([64], [5.0])
+        attach_scale_speedups(payload, None)
+        assert "speedup_vs_baseline" not in payload
+
+    def test_missing_point_in_baseline_skipped(self):
+        baseline = make_payload([64, 128], [10.0, 20.0])
+        baseline["strong"] = baseline["strong"][:1]  # drop 128 from strong
+        payload = make_payload([64, 128], [5.0, 10.0])
+        attach_scale_speedups(payload, baseline)
+        speedups = payload["speedup_vs_baseline"]
+        assert "strong_128" not in speedups
+        assert speedups["weak_128"] == 2.0
+
+
+class TestRegressionGate:
+    def test_no_regressions_when_faster(self):
+        payload = make_payload([64], [5.0])
+        payload["speedup_vs_baseline"] = {"strong_64": 1.4, "weak_64": 1.1}
+        assert check_scale_regressions(payload) == []
+
+    def test_gate_floor_arithmetic(self):
+        payload = make_payload([64], [5.0])
+        payload["speedup_vs_baseline"] = {"strong_64": 0.76, "weak_64": 0.74}
+        assert check_scale_regressions(payload, threshold=0.25) == [
+            ("weak_64", 0.74)
+        ]
+
+    def test_no_baseline_means_no_findings(self):
+        assert check_scale_regressions(make_payload([64], [5.0])) == []
+
+
+class TestRender:
+    def test_render_lists_every_point(self):
+        payload = make_payload([64, 128], [1.0, 2.0])
+        payload["speedup_vs_baseline"] = {"strong_64": 1.2}
+        text = render_scale(payload)
+        assert "strong" in text and "weak" in text
+        assert "64" in text and "128" in text
+        assert "1.2" in text

@@ -19,14 +19,22 @@ class TestServerRanks:
     def test_single_server(self):
         assert server_ranks(5, 1) == [0]
 
-    def test_all_servers_edge(self):
-        assert server_ranks(3, 3) == [0, 1, 2]
+    def test_balanced_edge(self):
+        assert server_ranks(4, 2) == [0, 2]
 
     def test_invalid(self):
         with pytest.raises(ValueError):
             server_ranks(4, 0)
         with pytest.raises(ValueError):
             server_ranks(4, 5)
+
+    def test_more_servers_than_clients_rejected(self):
+        # The topology contract requires nclients >= nservers; an
+        # all-server job would hang waiting for client Shutdowns.
+        with pytest.raises(ValueError, match="nclients >= nservers"):
+            server_ranks(3, 3)
+        with pytest.raises(ValueError, match="nclients >= nservers"):
+            server_ranks(5, 3)
 
 
 class TestAssignmentPlan:

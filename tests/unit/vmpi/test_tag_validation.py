@@ -1,0 +1,105 @@
+"""Regression tests for the reserved collective tag range (PR 7, S1).
+
+Collectives tag their internal traffic at ``_COLL_TAG_BASE`` and above;
+a user message sent with such a tag would be matched by an unrelated
+collective receive and corrupt it in an undebuggable way.  The public
+point-to-point entry points therefore reject reserved tags eagerly.
+"""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster import testbox as make_testbox
+from repro.vmpi import ANY_TAG, MPIError, run_spmd
+from repro.vmpi.comm import _COLL_TAG_BASE
+
+
+def launch(nprocs, main, seed=0):
+    machine = Machine(make_testbox(), seed=seed)
+    return run_spmd(machine, nprocs, main)
+
+
+RESERVED_TAGS = [_COLL_TAG_BASE, _COLL_TAG_BASE + 1, _COLL_TAG_BASE + 12345]
+
+
+class TestReservedTagsRejected:
+    @pytest.mark.parametrize("tag", RESERVED_TAGS)
+    def test_send_rejects_reserved(self, tag):
+        def main(ctx):
+            with pytest.raises(MPIError, match="reserved"):
+                yield from ctx.world.send("x", dest=1 - ctx.rank, tag=tag)
+
+        launch(2, main)
+
+    @pytest.mark.parametrize("tag", RESERVED_TAGS)
+    def test_recv_rejects_reserved(self, tag):
+        def main(ctx):
+            with pytest.raises(MPIError, match="reserved"):
+                yield from ctx.world.recv(source=1 - ctx.rank, tag=tag)
+
+        launch(2, main)
+
+    def test_isend_rejects_reserved(self):
+        def main(ctx):
+            with pytest.raises(MPIError, match="reserved"):
+                ctx.world.isend("x", dest=1 - ctx.rank, tag=_COLL_TAG_BASE)
+            yield from ctx.sleep(0)
+
+        launch(2, main)
+
+    def test_irecv_rejects_reserved(self):
+        def main(ctx):
+            with pytest.raises(MPIError, match="reserved"):
+                ctx.world.irecv(source=1 - ctx.rank, tag=_COLL_TAG_BASE)
+            yield from ctx.sleep(0)
+
+        launch(2, main)
+
+    def test_negative_tag_rejected(self):
+        def main(ctx):
+            with pytest.raises(MPIError):
+                yield from ctx.world.send("x", dest=1 - ctx.rank, tag=-2)
+
+        launch(2, main)
+
+
+class TestValidTagsStillWork:
+    def test_top_of_user_range_round_trips(self):
+        top = _COLL_TAG_BASE - 1
+        out = {}
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.world.send("edge", dest=1, tag=top)
+            else:
+                msg, status = yield from ctx.world.recv(source=0, tag=top)
+                out["msg"] = msg
+                out["tag"] = status.tag
+
+        launch(2, main)
+        assert out == {"msg": "edge", "tag": top}
+
+    def test_any_tag_recv_allowed(self):
+        out = {}
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.world.send("any", dest=1, tag=7)
+            else:
+                msg, _ = yield from ctx.world.recv(source=0, tag=ANY_TAG)
+                out["msg"] = msg
+
+        launch(2, main)
+        assert out["msg"] == "any"
+
+    def test_collectives_still_use_reserved_range(self):
+        """Internal collective traffic is exempt from the user check."""
+        out = {}
+
+        def main(ctx):
+            yield from ctx.world.barrier()
+            total = yield from ctx.world.allreduce(ctx.rank)
+            out[ctx.rank] = total
+
+        launch(4, main)
+        assert all(v == 6 for v in out.values())
