@@ -10,7 +10,7 @@ from .ablations import (
 )
 from .experiment import bench_runs, bench_scale, repeat_runs, summarize
 from .faults import render_faults, run_faultbench, scenario_names
-from .fig3a import Fig3aResult, run_fig3a
+from .fig3a import Fig3aResult, run_fig3a, run_fig3a_partial_read
 from .fig3b import Fig3bResult, run_fig3b
 from .perf import (
     bench_codec,
@@ -42,6 +42,7 @@ __all__ = [
     "run_table1",
     "Table1Result",
     "run_fig3a",
+    "run_fig3a_partial_read",
     "Fig3aResult",
     "run_fig3b",
     "Fig3bResult",

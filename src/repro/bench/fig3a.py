@@ -26,7 +26,12 @@ from ..util.units import MB
 from ..vmpi import placement as placement_policies
 from .report import render_series
 
-__all__ = ["Fig3aResult", "run_fig3a", "CLIENTS_PER_NODE"]
+__all__ = [
+    "Fig3aResult",
+    "run_fig3a",
+    "run_fig3a_partial_read",
+    "CLIENTS_PER_NODE",
+]
 
 #: 15 compute processors per 16-way node (§7.2).
 CLIENTS_PER_NODE = 15
@@ -139,3 +144,84 @@ def run_fig3a(
     return Fig3aResult(
         proc_counts=list(proc_counts), throughput=throughput, total_procs=totals
     )
+
+
+def run_fig3a_partial_read(
+    nprocs: int = 15,
+    nblocks_per_rank: int = 4,
+    nelems: int = 4096,
+    seed: int = 300,
+) -> Dict[str, float]:
+    """Virtual-time cost of a Fig 3(a)-style partial attribute read.
+
+    Writes one Rochdf snapshot holding several attributes per block,
+    then restores (a) every attribute and (b) a single attribute.
+    Before the partial-read sieve, (b) cost exactly as much virtual
+    time as (a) — every record was read and the unwanted arrays were
+    discarded after decode.  With sieving, (b) reads only the wanted
+    records, so ``partial_read_s`` is the "after" number and
+    ``full_read_s`` doubles as the "before" one.
+    """
+    import numpy as np
+
+    from ..io import RochdfModule
+    from ..roccom import AttributeSpec, LOC_ELEMENT, LOC_NODE, Roccom
+    from ..vmpi import run_spmd
+
+    attrs = ("pressure", "temperature", "velocity", "density")
+
+    def _window(com, ctx):
+        w = com.new_window("Fluid")
+        w.declare_attribute(AttributeSpec("coords", LOC_NODE, ncomp=3))
+        for name in attrs:
+            w.declare_attribute(AttributeSpec(name, LOC_ELEMENT))
+        rng = np.random.default_rng(seed + ctx.rank)
+        for i in range(nblocks_per_rank):
+            pane_id = ctx.rank * nblocks_per_rank + i
+            w.register_pane(pane_id, nelems, nelems)
+            w.set_array("coords", pane_id, rng.random((nelems, 3)))
+            for name in attrs:
+                w.set_array(name, pane_id, rng.random(nelems))
+        return w
+
+    def writer_main(ctx):
+        com = Roccom(ctx)
+        com.load_module(RochdfModule(ctx))
+        _window(com, ctx)
+        yield from com.call_function("OUT.write_attribute", "Fluid", None, "f3apr")
+
+    machine = Machine(frost(), seed=seed)
+    run_spmd(machine, nprocs, writer_main)
+
+    times = {}
+
+    def _reader(attr_names, label):
+        def main(ctx):
+            com = Roccom(ctx)
+            mod = com.load_module(RochdfModule(ctx))
+            w = com.new_window("Fluid")
+            for i in range(nblocks_per_rank):
+                w.register_pane(ctx.rank * nblocks_per_rank + i, 0, 0)
+            t0 = ctx.now
+            yield from com.call_function(
+                "OUT.read_attribute", "Fluid", attr_names, "f3apr"
+            )
+            times.setdefault(label, []).append(ctx.now - t0)
+            return mod.stats.bytes_read
+
+        return main
+
+    reread = Machine(frost(), seed=seed, disk=machine.disk)
+    full = run_spmd(reread, nprocs, _reader(None, "full"))
+    reread2 = Machine(frost(), seed=seed, disk=machine.disk)
+    partial = run_spmd(reread2, nprocs, _reader(["pressure"], "partial"))
+    full_s = max(times["full"])
+    partial_s = max(times["partial"])
+    return {
+        "nprocs": nprocs,
+        "full_read_s": full_s,
+        "partial_read_s": partial_s,
+        "full_read_bytes": float(sum(full.returns)),
+        "partial_read_bytes": float(sum(partial.returns)),
+        "speedup": full_s / partial_s if partial_s else float("inf"),
+    }

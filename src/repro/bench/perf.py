@@ -53,6 +53,8 @@ import numpy as np
 
 __all__ = [
     "bench_des_events",
+    "bench_des_dispatch",
+    "bench_bulk_delivery",
     "bench_mailbox_backlog",
     "bench_mailbox_waiters",
     "bench_vmpi_msgrate",
@@ -110,6 +112,77 @@ def bench_des_events(nevents: int = 200_000) -> Dict[str, float]:
     def run() -> int:
         env.run()
         return nevents
+
+    return _timed(run)
+
+
+def bench_des_dispatch(nevents: int = 200_000, queue: str = "bucketed") -> Dict[str, float]:
+    """Raw schedule+pop dispatch rate through one queue implementation.
+
+    The fill mixes same-``(time, priority)`` bursts (the tree-collective
+    / coalesced-flush shape that the bucketed queue turns into deque
+    appends) with distinct-key singletons (pure heap churn), so the
+    bucketed/heapq pair quantifies the queue-structure win in isolation
+    from process-resume cost.
+    """
+    from ..des import NORMAL, Environment, Event
+
+    env = Environment(queue=queue)
+
+    def run() -> int:
+        schedule = env.schedule
+        n = 0
+        delay = 1.0
+        while n < nevents:
+            for _ in range(16):  # one same-key burst
+                ev = Event(env)
+                ev._ok = True
+                ev._value = None
+                schedule(ev, NORMAL, delay)
+                n += 1
+            delay += 0.5
+            for _ in range(8):  # distinct-key singletons
+                ev = Event(env)
+                ev._ok = True
+                ev._value = None
+                schedule(ev, NORMAL, delay)
+                delay += 0.25
+                n += 1
+        env.run()
+        return n
+
+    return _timed(run)
+
+
+def bench_bulk_delivery(
+    ndeliveries: int = 200_000, fanout: int = 64, queue: str = "bucketed"
+) -> Dict[str, float]:
+    """Same-timestamp callback fan-out via :meth:`Environment.schedule_callback`.
+
+    The bucketed queue fuses each ``fanout``-sized burst into one bulk
+    entry dispatched in a single pop; the heapq spec pays one entry per
+    callback.  ``events_processed`` counts the fan-out identically on
+    both, so the ops/sec ratio is the pure fusion win.
+    """
+    from ..des import Environment
+
+    env = Environment(queue=queue)
+
+    def _sink(_arg) -> None:
+        return None
+
+    def run() -> int:
+        sc = env.schedule_callback
+        n = 0
+        delay = 1.0
+        while n < ndeliveries:
+            for _ in range(fanout):
+                sc(_sink, n, delay=delay)
+                n += 1
+            delay += 1.0
+        env.run()
+        assert env.events_processed == n
+        return n
 
     return _timed(run)
 
@@ -559,6 +632,11 @@ def run_perfbench(
 
     micro: Dict[str, Any] = {}
     micro["des_events"] = bench_des_events(sizes["nevents"])
+    for impl in ("bucketed", "heapq"):
+        micro[f"des_dispatch_{impl}"] = bench_des_dispatch(
+            sizes["nevents"], queue=impl)
+        micro[f"bulk_delivery_{impl}"] = bench_bulk_delivery(
+            sizes["nevents"], queue=impl)
     for impl in ("indexed", "reference"):
         micro[f"mailbox_backlog_{impl}"] = bench_mailbox_backlog(
             sizes["nsources"], sizes["rounds"], mailbox=impl)

@@ -179,11 +179,13 @@ def run_scalebench(
 def attach_scale_speedups(
     payload: Dict[str, Any], baseline: Optional[Dict]
 ) -> Dict[str, Any]:
-    """Attach per-point host-wall speedups vs ``baseline`` in place.
+    """Attach per-point host-wall and event-rate speedups vs ``baseline``.
 
     A baseline measured on a different point set (quick vs full) is
     ignored rather than compared — rates from different sweeps would
-    report phantom regressions.
+    report phantom regressions.  ``<curve>_<n>`` entries compare host
+    wall (bigger = faster); ``<curve>_<n>_events_per_sec`` entries
+    compare the host event rate, the PR-8 headline metric.
     """
     if baseline is None or baseline.get("points") != payload["points"]:
         return payload
@@ -199,6 +201,10 @@ def attach_scale_speedups(
             speedups[f"{curve}_{point['nclients']}"] = round(
                 base["host_wall_s"] / point["host_wall_s"], 3
             )
+            if base.get("events_per_sec") and point.get("events_per_sec"):
+                speedups[f"{curve}_{point['nclients']}_events_per_sec"] = round(
+                    point["events_per_sec"] / base["events_per_sec"], 3
+                )
     payload["baseline"] = baseline
     payload["speedup_vs_baseline"] = speedups
     return payload

@@ -21,11 +21,39 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..des import Environment, Event, Resource
+from ..des import Environment, Resource
 from ..util.units import MB, USEC
 from .node import Node
 
 __all__ = ["NetworkSpec", "Network"]
+
+
+def _invoke(cb) -> None:
+    # Module-level landing trampoline for intra-node flights: lets
+    # schedule_transfer hand the user callback straight to the DES
+    # bulk-delivery path without allocating a closure per message.
+    cb()
+
+
+def _land_nic(args) -> None:
+    # Landing trampoline for inter-node flights: free the NIC stream
+    # slot, then deliver.
+    nic, req, cb = args
+    nic.release(req)
+    cb()
+
+
+def _deliver(args) -> None:
+    # Landing trampoline for intra-node mailbox deliveries.
+    mailbox, envelope = args
+    mailbox.deliver(envelope)
+
+
+def _land_nic_deliver(args) -> None:
+    # Landing trampoline for inter-node mailbox deliveries.
+    nic, req, mailbox, envelope = args
+    nic.release(req)
+    mailbox.deliver(envelope)
 
 
 @dataclass(frozen=True)
@@ -60,6 +88,14 @@ class Network:
         self._nics: Dict[int, Resource] = {
             node.index: Resource(env, capacity=spec.nic_streams) for node in nodes
         }
+        # spec and nprocs are fixed for the lifetime of the instance, so
+        # the latency scale factor and per-(locality, size) wire times
+        # are interned once instead of recomputed per message.  The
+        # memo is capped: block payloads cluster into a few dozen size
+        # classes, but a pathological workload with unique sizes must
+        # not grow it without bound.
+        self._eff_latency = spec.latency * (1.0 + spec.scale_alpha * nprocs)
+        self._tt_memo: Dict[tuple, float] = {}
         #: Total payload bytes moved (diagnostics).
         self.bytes_transferred = 0
         self.messages = 0
@@ -73,7 +109,7 @@ class Network:
 
     # -- cost helpers ---------------------------------------------------
     def effective_latency(self) -> float:
-        return self.spec.latency * (1.0 + self.spec.scale_alpha * self.nprocs)
+        return self._eff_latency
 
     def bandwidth(self, src: Node, dst: Node) -> float:
         return self.spec.intra_bw if src.index == dst.index else self.spec.inter_bw
@@ -88,8 +124,23 @@ class Network:
         return self.fault_filter(src_rank, dst_rank, tag, nbytes)
 
     def transfer_time(self, src: Node, dst: Node, nbytes: int) -> float:
-        """Pure wire time, excluding NIC queueing and endpoint overhead."""
-        return self.effective_latency() + nbytes / self.bandwidth(src, dst)
+        """Pure wire time, excluding NIC queueing and endpoint overhead.
+
+        Memoized per (locality, size) class — ``latency + nbytes / bw``
+        evaluated once per distinct message size, with the division
+        kept (not turned into a multiply by a reciprocal) so memoized
+        and cold results are bit-identical.
+        """
+        memo = self._tt_memo
+        same = src.index == dst.index
+        key = (same, nbytes)
+        t = memo.get(key)
+        if t is None:
+            bw = self.spec.intra_bw if same else self.spec.inter_bw
+            t = self._eff_latency + nbytes / bw
+            if len(memo) < 65536:
+                memo[key] = t
+        return t
 
     # -- operations -----------------------------------------------------
     def transfer(self, src: Node, dst: Node, nbytes: int):
@@ -106,13 +157,13 @@ class Network:
         self.messages += 1
         self.bytes_transferred += nbytes
         if src.index == dst.index:
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
             return
         nic = self._nics[dst.index]
         req = nic.request()
         yield req
         try:
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
         finally:
             nic.release(req)
 
@@ -128,37 +179,64 @@ class Network:
         payload lands.
 
         Virtual timing (including NIC queueing) is identical to
-        ``transfer``; the difference is purely mechanical — the flight is
-        chained through event callbacks instead of occupying a dedicated
-        generator process, which matters because one of these runs per
-        eager message.  ``extra_delay`` adds injected flight time
-        (message-delay faults).
+        ``transfer``; the difference is purely mechanical — the flight
+        rides the DES bulk-delivery path
+        (:meth:`~repro.des.Environment.schedule_callback`) instead of
+        occupying a dedicated generator process or even a dedicated
+        completion Event, which matters because one of these runs per
+        eager message, and co-landing flights (a tree-collective level,
+        a coalesced scatter) fuse into a single vectorized dispatch.
+        ``extra_delay`` adds injected flight time (message-delay
+        faults).
         """
         load = max(src.external_load, dst.external_load)
         duration = self.transfer_time(src, dst, nbytes) * load + extra_delay
         self.messages += 1
         self.bytes_transferred += nbytes
         env = self.env
-
-        def _fly(_event) -> None:
-            done = Event(env)
-            done._ok = True
-            done._value = None
-            done.callbacks.append(_land)
-            env.schedule(done, delay=duration)
-
         if src.index == dst.index:
-            def _land(_event) -> None:
-                callback()
-
-            _fly(None)
+            env.schedule_callback(_invoke, callback, delay=duration)
             return
         nic = self._nics[dst.index]
         req = nic.request()
 
-        def _land(_event) -> None:
-            nic.release(req)
-            callback()
+        def _fly(_event) -> None:
+            env.schedule_callback(_land_nic, (nic, req, callback), delay=duration)
+
+        req.callbacks.append(_fly)
+
+    def schedule_delivery(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: int,
+        mailbox,
+        envelope,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """:meth:`schedule_transfer` specialized to a mailbox delivery.
+
+        The flight schedule is identical; the only difference is that
+        the landing action is ``mailbox.deliver(envelope)`` expressed
+        as data instead of a per-message closure — the dominant eager
+        path (one of these per point-to-point message) allocates no
+        callable at all.
+        """
+        load = max(src.external_load, dst.external_load)
+        duration = self.transfer_time(src, dst, nbytes) * load + extra_delay
+        self.messages += 1
+        self.bytes_transferred += nbytes
+        env = self.env
+        if src.index == dst.index:
+            env.schedule_callback(_deliver, (mailbox, envelope), delay=duration)
+            return
+        nic = self._nics[dst.index]
+        req = nic.request()
+
+        def _fly(_event) -> None:
+            env.schedule_callback(
+                _land_nic_deliver, (nic, req, mailbox, envelope), delay=duration
+            )
 
         req.callbacks.append(_fly)
 
@@ -168,4 +246,4 @@ class Network:
         Control messages do not occupy NIC stream slots.
         """
         load = max(src.external_load, dst.external_load)
-        yield self.env.timeout(self.effective_latency() * load)
+        yield self.env.sleep(self._eff_latency * load)

@@ -53,10 +53,9 @@ class MeshBlock:
         self.spec = spec
         self.coords = coords  # (nnodes, 3) float64
         self.conn = conn  # (nelems, nodes_per_elem) int64
-
-    @property
-    def block_id(self) -> int:
-        return self.spec.block_id
+        #: Plain attribute (ids are immutable; the kernels read this
+        #: every block-step, so a property descriptor is measurable).
+        self.block_id = spec.block_id
 
     @property
     def nnodes(self) -> int:

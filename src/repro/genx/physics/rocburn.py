@@ -100,10 +100,15 @@ class Rocburn(PhysicsModule):
         # Flame spreading: heat diffuses along the surface.
         temp += 40.0 * (rolled(temp, 1) - 2 * temp + rolled(temp, -1)) * 0.01
         temp += 2.0 * ignited  # burning elements stay hot
-        newly = (temp >= self.T_ignite) & (ignited == 0)
-        ignited[newly] = 1
+        # In-place OR instead of a boolean fancy-index store: ignition
+        # is monotone (0 -> 1), so OR-ing the threshold mask is the
+        # same update without the advanced-indexing machinery.
+        ignited |= temp >= self.T_ignite
         r = self._rate(p, temp)
-        rate[:] = np.where(ignited == 1, r, 0.0)
+        # r >= 0 for every burn model, so masking by multiply matches
+        # np.where(ignited == 1, r, 0.0) bit-for-bit without the
+        # intermediate allocation.
+        np.multiply(r, ignited == 1, out=rate)
         dist += rate * dt * 1e3  # scaled so regression is visible
 
     def set_pressure_bc(self, block_id: int, pressure: float) -> None:

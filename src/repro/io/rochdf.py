@@ -228,6 +228,29 @@ class RochdfModule(ServiceModule):
                 for n in reader.names()
                 if _block_of(n) in wanted and n.startswith(window_name + "/")
             ]
+            if attr_names is not None:
+                # Partial attribute read: sieve only the requested
+                # records instead of reading every dataset of the block
+                # and discarding the rest after decode (the PR 6
+                # follow-on).  Blocks none of whose records match keep
+                # one record so their geometry still restores (the
+                # post-decode filter below strips its array, matching
+                # the old full-read semantics exactly).
+                want_attrs = set(attr_names)
+                matched = []
+                matched_blocks = set()
+                fallback: Dict[int, str] = {}
+                for n in names:
+                    b = _block_of(n)
+                    if n.rsplit("/", 1)[1] in want_attrs:
+                        matched.append(n)
+                        matched_blocks.add(b)
+                    elif b not in fallback:
+                        fallback[b] = n
+                for b, n in fallback.items():
+                    if b not in matched_blocks:
+                        matched.append(n)
+                names = matched
             if sieved:
                 # One directory pass + sieved bulk reads for the whole
                 # file's wanted records.
@@ -270,7 +293,7 @@ class RochdfModule(ServiceModule):
     def sync(self):
         """Generator: no-op — non-threaded Rochdf writes are blocking."""
         t0 = self.ctx.now
-        yield self.ctx.env.timeout(0)
+        yield self.ctx.env.sleep(0)
         self.ctx.io_record(self.name, "sync", t_start=t0)
 
 

@@ -251,7 +251,7 @@ class RocpandaModule(ServiceModule):
             # With a single client the server idles during this gap;
             # with many clients other blocks fill it — the pipelining
             # behind Fig 3(a)'s throughput rise from 1 to 15 clients.
-            yield ctx.env.timeout(self.pack_overhead + block.nbytes / self.pack_bw)
+            yield ctx.env.sleep(self.pack_overhead + block.nbytes / self.pack_bw)
             yield from world.send(
                 BlockEnvelope(path, block), dest=server, tag=TAG_BLOCK
             )
@@ -287,12 +287,12 @@ class RocpandaModule(ServiceModule):
             tag=TAG_CTRL,
         )
         stream = world.stream(self._server, TAG_BLOCK)
-        timeout = ctx.env.timeout
+        sleep = ctx.env.sleep
         pack_overhead = self.pack_overhead
         pack_bw = self.pack_bw
         stats = self.stats
         for eb in blocks:
-            yield timeout(pack_overhead + eb.nbytes / pack_bw)
+            yield sleep(pack_overhead + eb.nbytes / pack_bw)
             yield from stream.send(BlockEnvelope(path, eb), nbytes=eb.nbytes + 64)
             stats.blocks_written += 1
             stats.bytes_written += eb.nbytes
@@ -338,7 +338,7 @@ class RocpandaModule(ServiceModule):
                 return "ok"
             self.stats.retries += 1
             self._record_counter("retries")
-            yield ctx.env.timeout(policy.delay(attempt))
+            yield ctx.env.sleep(policy.delay(attempt))
         if self._faults.is_dead(self._server):
             return "dead"
         raise RuntimeError(
@@ -365,7 +365,7 @@ class RocpandaModule(ServiceModule):
         if verdict != "ok":
             return verdict
         for block in entry.blocks:
-            yield ctx.env.timeout(self.pack_overhead + block.nbytes / self.pack_bw)
+            yield ctx.env.sleep(self.pack_overhead + block.nbytes / self.pack_bw)
             verdict = yield from self._send_guarded(
                 BlockEnvelope(entry.path, block), TAG_BLOCK
             )
@@ -401,7 +401,7 @@ class RocpandaModule(ServiceModule):
         if verdict != "ok":
             return verdict
         # One marshalling charge for the aggregated envelope.
-        yield ctx.env.timeout(self.pack_overhead + total / self.pack_bw)
+        yield ctx.env.sleep(self.pack_overhead + total / self.pack_bw)
         verdict = yield from self._send_guarded(batch, TAG_BLOCK)
         if verdict != "ok":
             return verdict

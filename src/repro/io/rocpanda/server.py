@@ -358,7 +358,7 @@ class PandaServer:
         self.stats.bytes_received += nbytes
         t0 = self.ctx.now
         # Buffer-management / protocol bookkeeping per block.
-        yield self.ctx.env.timeout(cfg.ingest_overhead)
+        yield self.ctx.env.sleep(cfg.ingest_overhead)
         key = (client, block.block_id)
         if key in state.seen:
             # A resend whose first copy also arrived (duplicated message
@@ -382,7 +382,7 @@ class PandaServer:
             yield from self._close_finished_paths()
             return
         # Copy into the server's buffer hierarchy.
-        yield self.ctx.env.timeout(nbytes / cfg.ingest_bw)
+        yield self.ctx.env.sleep(nbytes / cfg.ingest_bw)
         self.ctx.io_record(
             "rocpanda", "ingest", path=msg.path, nbytes=nbytes,
             t_start=t0, visible=False,
@@ -422,7 +422,7 @@ class PandaServer:
         self.stats.bytes_received += total
         t0 = self.ctx.now
         # One bookkeeping charge per aggregated message.
-        yield self.ctx.env.timeout(cfg.ingest_overhead)
+        yield self.ctx.env.sleep(cfg.ingest_overhead)
         fresh = []
         for eb in blocks:
             key = (client, eb.block_id)
@@ -447,7 +447,7 @@ class PandaServer:
             return
         total_fresh = sum(b.nbytes for b in fresh)
         # One streaming copy into the buffer hierarchy for the batch.
-        yield self.ctx.env.timeout(total_fresh / cfg.ingest_bw)
+        yield self.ctx.env.sleep(total_fresh / cfg.ingest_bw)
         self.ctx.io_record(
             "rocpanda", "ingest", path=msg.path, nbytes=total,
             t_start=t0, visible=False,
@@ -561,8 +561,20 @@ class PandaServer:
 
     def _close_finished_paths(self, force: bool = False):
         """Generator: close and retire every fully-written output file."""
+        if not self._paths:
+            return
         expected_clients = self._expected_clients()
-        for path, state in list(self._paths.items()):
+        nexpected = len(expected_clients)
+        retire = []
+        for path, state in self._paths.items():
+            # Monotone-counter precondition: completion needs every
+            # expected client announced and received == written, so the
+            # subset/sum work below only runs when it could pass.
+            if not force and (
+                len(state.begun) < nexpected
+                or state.received != state.written
+            ):
+                continue
             announced = expected_clients <= state.begun
             all_expected = sum(state.expected.values()) if announced else None
             complete = (
@@ -571,19 +583,21 @@ class PandaServer:
                 and state.written == all_expected
             )
             if complete or (force and state.opened):
-                if state.writer is not None and state.writer.is_open:
-                    if self._faults is None:
-                        yield from state.writer.close()
-                    else:
-                        yield from retrying(
-                            self.ctx.env,
-                            self.config.retry,
-                            state.writer.close,
-                            on_retry=self._note_write_retry,
-                        )
-                del self._paths[path]
-                if self._faults is not None:
-                    self._file_gens[path] = self._file_gens.get(path, 0) + 1
+                retire.append((path, state))
+        for path, state in retire:
+            if state.writer is not None and state.writer.is_open:
+                if self._faults is None:
+                    yield from state.writer.close()
+                else:
+                    yield from retrying(
+                        self.ctx.env,
+                        self.config.retry,
+                        state.writer.close,
+                        on_retry=self._note_write_retry,
+                    )
+            del self._paths[path]
+            if self._faults is not None:
+                self._file_gens[path] = self._file_gens.get(path, 0) + 1
 
     def _answer_sync_waiters(self) -> None:
         if not self._sync_waiters:

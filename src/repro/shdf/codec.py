@@ -327,12 +327,17 @@ def _encode_record_prefix(dataset: Dataset, arr: np.ndarray) -> bytes:
 def _encode_dataset_into(out: bytearray, dataset: Dataset) -> None:
     arr = dataset.data
     try:
-        key = (
-            dataset.name,
-            arr.dtype.str,
-            arr.shape,
-            tuple((k, type(v), v) for k, v in dataset.attrs.items()),
-        )
+        # Flat interleaved (name, type, value, ...) tuple: same
+        # discriminating power as a tuple of triples (fixed stride,
+        # element-wise equality) without a generator resume plus a
+        # tuple allocation per attribute on this per-record path.
+        ak = []
+        push = ak.append
+        for k, v in dataset.attrs.items():
+            push(k)
+            push(type(v))
+            push(v)
+        key = (dataset.name, arr.dtype.str, arr.shape, tuple(ak))
         prefix = _prefix_memo.get(key)
     except TypeError:  # unhashable attr value (ndarray/list attrs)
         out += _encode_record_prefix(dataset, arr)

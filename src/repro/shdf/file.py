@@ -152,7 +152,7 @@ class SHDFWriter:
             raise RuntimeError(f"{self.path}: not open")
         t0 = self.env.now
         # Format-internal bookkeeping (directory maintenance).
-        yield self.env.timeout(self.driver.create_cost(self._ndatasets))
+        yield self.env.sleep(self.driver.create_cost(self._ndatasets))
         for _ in range(self.driver.fs_meta_ops_per_dataset):
             yield from self.fs.meta_op(self.node)
         yield from self.fs.write(
@@ -185,7 +185,7 @@ class SHDFWriter:
             return
         t0 = self.env.now
         n0 = self._ndatasets
-        yield self.env.timeout(
+        yield self.env.sleep(
             sum(self.driver.create_cost(n0 + k) for k in range(len(records)))
         )
         yield from self.fs.meta_ops_bulk(
@@ -355,7 +355,7 @@ class SHDFReader:
         self._require_image()
         t0 = self.env.now
         dataset = self._image.get(name)
-        yield self.env.timeout(self.driver.lookup_cost(len(self._image)))
+        yield self.env.sleep(self.driver.lookup_cost(len(self._image)))
         for _ in range(self.driver.fs_meta_ops_per_dataset):
             yield from self.fs.meta_op(self.node)
         yield from self.fs.read(
@@ -422,7 +422,7 @@ class SHDFReader:
         """
         self._require_scan()
         t0 = self.env.now
-        yield self.env.timeout(self.driver.lookup_cost(len(self._entries)))
+        yield self.env.sleep(self.driver.lookup_cost(len(self._entries)))
         if names is None:
             selected = self._entries
         else:

@@ -46,10 +46,11 @@ from .datatypes import (
     ANY_TAG,
     MODE_EAGER,
     MODE_RNDV,
-    Envelope,
     MPIError,
     Status,
+    make_envelope,
     payload_nbytes,
+    release_envelope,
 )
 
 __all__ = ["Comm", "Request", "SendStream"]
@@ -182,15 +183,16 @@ class Comm:
         src_node = self._node(self.rank)
         dst_node = self._node(dest)
         self._send_seq += 1
-        envelope = Envelope(
-            comm_id=self.id,
-            src=self.rank,
-            dst=dest,
-            tag=tag,
-            payload=obj,
-            nbytes=nbytes,
-            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
-            seq=self._send_seq,
+        envelope = make_envelope(
+            self.job.envelope_pool,
+            self.id,
+            self.rank,
+            dest,
+            tag,
+            obj,
+            nbytes,
+            MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            self._send_seq,
         )
         recorder = self._recorder
         if recorder is not None:
@@ -204,7 +206,7 @@ class Comm:
             fault = network.fault_decision(
                 self.global_rank(), self.group[dest], tag, nbytes
             )
-        yield env.timeout(network.spec.sw_overhead)
+        yield env.sleep(network.spec.sw_overhead)
         if envelope.mode == MODE_EAGER:
             # Buffered: payload travels on its own; send returns now.
             # The flight rides the network's callback chain — spawning a
@@ -215,20 +217,17 @@ class Comm:
                 if kind == "drop":
                     return  # lost on the wire; the sender cannot tell
                 if kind == "duplicate":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope
                     )
                 elif kind == "delay":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope,
                         extra_delay=extra,
                     )
                     return
-            network.schedule_transfer(
-                src_node, dst_node, nbytes,
-                lambda: mailbox.deliver(envelope),
+            network.schedule_delivery(
+                src_node, dst_node, nbytes, mailbox, envelope
             )
             return
         # Rendezvous: announce, then block until the receiver drains us.
@@ -274,7 +273,10 @@ class Comm:
             self._check_rank(source, "source")
         env = self.env
         network = self.job.network
-        envelope = yield self._mailbox(self.rank).get_matching(source, tag)
+        mailbox = self._mailbox(self.rank)
+        get_ev = mailbox.get_matching(source, tag)
+        envelope = yield get_ev
+        mailbox.recycle(get_ev)
         if envelope.mode == MODE_RNDV:
             src_node = self._node(envelope.src)
             dst_node = self._node(self.rank)
@@ -285,8 +287,16 @@ class Comm:
         recorder = self._recorder
         if recorder is not None:
             recorder.count_recv(self.global_rank(), envelope.nbytes)
-        yield env.timeout(network.spec.sw_overhead)
-        return envelope.payload, envelope.status()
+        yield env.sleep(network.spec.sw_overhead)
+        payload = envelope.payload
+        status = envelope.status()
+        if envelope.mode == MODE_EAGER and network.fault_filter is None:
+            # The receiver is the envelope's last holder on the eager
+            # path (the sender returned at hand-off); rendezvous
+            # envelopes stay unpooled because a timed-out guarded
+            # sender may still inspect them after this receive.
+            release_envelope(self.job.envelope_pool, envelope)
+        return payload, status
 
     # -- timeout-guarded point-to-point (resilience layer) -----------------
     def send_with_timeout(self, obj: Any, dest: int, tag: int = 0, timeout: float = 0.25):
@@ -316,15 +326,16 @@ class Comm:
         src_node = self._node(self.rank)
         dst_node = self._node(dest)
         self._send_seq += 1
-        envelope = Envelope(
-            comm_id=self.id,
-            src=self.rank,
-            dst=dest,
-            tag=tag,
-            payload=obj,
-            nbytes=nbytes,
-            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
-            seq=self._send_seq,
+        envelope = make_envelope(
+            self.job.envelope_pool,
+            self.id,
+            self.rank,
+            dest,
+            tag,
+            obj,
+            nbytes,
+            MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            self._send_seq,
         )
         recorder = self._recorder
         if recorder is not None:
@@ -337,7 +348,7 @@ class Comm:
             fault = network.fault_decision(
                 self.global_rank(), self.group[dest], tag, nbytes
             )
-        yield env.timeout(network.spec.sw_overhead)
+        yield env.sleep(network.spec.sw_overhead)
         if envelope.mode == MODE_EAGER:
             mailbox = self._mailbox(dest)
             if fault is not None:
@@ -345,20 +356,17 @@ class Comm:
                 if kind == "drop":
                     return "ok"
                 if kind == "duplicate":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope
                     )
                 elif kind == "delay":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope,
                         extra_delay=extra,
                     )
                     return "ok"
-            network.schedule_transfer(
-                src_node, dst_node, nbytes,
-                lambda: mailbox.deliver(envelope),
+            network.schedule_delivery(
+                src_node, dst_node, nbytes, mailbox, envelope
             )
             return "ok"
         envelope.done_event = Event(env)
@@ -374,8 +382,13 @@ class Comm:
                 yield env.timeout(extra)
         mailbox = self._mailbox(dest)
         mailbox.deliver(envelope)
-        yield env.any_of([envelope.done_event, env.timeout(timeout)])
+        guard = env.timeout(timeout)
+        yield env.any_of([envelope.done_event, guard])
         if envelope.done_event.triggered:
+            # Delivered in time: lazily cancel the still-queued guard so
+            # it neither lingers in the depth accounting nor costs a
+            # dispatch when its deadline arrives.
+            guard.cancel()
             return "ok"
         if mailbox.retract(envelope):
             return "retracted"
@@ -401,10 +414,12 @@ class Comm:
         mailbox = self._mailbox(self.rank)
         get_ev = mailbox.get_matching(source, tag)
         if not get_ev.triggered:
-            yield env.any_of([get_ev, env.timeout(timeout)])
+            guard = env.timeout(timeout)
+            yield env.any_of([get_ev, guard])
             if not get_ev.triggered:
                 mailbox.cancel_waiter(get_ev)
                 return None
+            guard.cancel()
         envelope = get_ev.value
         if envelope.mode == MODE_RNDV:
             src_node = self._node(envelope.src)
@@ -416,7 +431,7 @@ class Comm:
         recorder = self._recorder
         if recorder is not None:
             recorder.count_recv(self.global_rank(), envelope.nbytes)
-        yield env.timeout(network.spec.sw_overhead)
+        yield env.sleep(network.spec.sw_overhead)
         return envelope.payload, envelope.status()
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -809,15 +824,16 @@ class SendStream:
         if nbytes is None:
             nbytes = payload_nbytes(obj)
         comm._send_seq += 1
-        envelope = Envelope(
-            comm_id=comm.id,
-            src=comm.rank,
-            dst=self.dest,
-            tag=self.tag,
-            payload=obj,
-            nbytes=nbytes,
-            mode=MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
-            seq=comm._send_seq,
+        envelope = make_envelope(
+            comm.job.envelope_pool,
+            comm.id,
+            comm.rank,
+            self.dest,
+            self.tag,
+            obj,
+            nbytes,
+            MODE_EAGER if network.is_eager(nbytes) else MODE_RNDV,
+            comm._send_seq,
         )
         if self._recorder is not None:
             self._recorder.count_send(
@@ -829,7 +845,7 @@ class SendStream:
             fault = network.fault_decision(
                 self._src_grank, self._dst_grank, self.tag, nbytes
             )
-        yield env.timeout(network.spec.sw_overhead)
+        yield env.sleep(network.spec.sw_overhead)
         src_node = self._src_node
         dst_node = self._dst_node
         if envelope.mode == MODE_EAGER:
@@ -839,20 +855,17 @@ class SendStream:
                 if kind == "drop":
                     return
                 if kind == "duplicate":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope
                     )
                 elif kind == "delay":
-                    network.schedule_transfer(
-                        src_node, dst_node, nbytes,
-                        lambda: mailbox.deliver(envelope),
+                    network.schedule_delivery(
+                        src_node, dst_node, nbytes, mailbox, envelope,
                         extra_delay=extra,
                     )
                     return
-            network.schedule_transfer(
-                src_node, dst_node, nbytes,
-                lambda: mailbox.deliver(envelope),
+            network.schedule_delivery(
+                src_node, dst_node, nbytes, mailbox, envelope
             )
             return
         envelope.done_event = Event(env)

@@ -14,6 +14,8 @@ __all__ = [
     "Envelope",
     "MPIError",
     "payload_nbytes",
+    "make_envelope",
+    "release_envelope",
 ]
 
 #: Wildcard source for recv/probe.
@@ -61,6 +63,51 @@ class Envelope:
         return Status(source=self.src, tag=self.tag, nbytes=self.nbytes)
 
 
+#: Freelist size cap: beyond this the pool stops absorbing releases
+#: (a burst of in-flight messages must not pin memory forever).
+_ENVELOPE_POOL_CAP = 4096
+
+
+def make_envelope(pool, comm_id, src, dst, tag, payload, nbytes, mode, seq) -> Envelope:
+    """Allocate an :class:`Envelope`, reusing a pooled instance if any.
+
+    ``pool`` is the owning job's shared freelist; a popped instance has
+    every field overwritten (``done_event`` included), so reuse is
+    indistinguishable from a fresh allocation.
+    """
+    if pool:
+        envelope = pool.pop()
+        envelope.comm_id = comm_id
+        envelope.src = src
+        envelope.dst = dst
+        envelope.tag = tag
+        envelope.payload = payload
+        envelope.nbytes = nbytes
+        envelope.mode = mode
+        envelope.seq = seq
+        envelope.done_event = None
+        return envelope
+    return Envelope(
+        comm_id=comm_id, src=src, dst=dst, tag=tag, payload=payload,
+        nbytes=nbytes, mode=mode, seq=seq,
+    )
+
+
+def release_envelope(pool, envelope: Envelope) -> None:
+    """Return a fully-consumed envelope to the freelist.
+
+    Payload and completion-event references are dropped immediately so
+    a pooled envelope never keeps a large array alive.  Callers must
+    guarantee no other holder can still observe the envelope — the
+    receive path only releases when no fault filter is installed,
+    because duplicate-injection delivers one envelope twice.
+    """
+    envelope.payload = None
+    envelope.done_event = None
+    if len(pool) < _ENVELOPE_POOL_CAP:
+        pool.append(envelope)
+
+
 #: Exact-type fast path for the scalar payloads that dominate call
 #: volume (allreduce/control traffic); subclasses fall through to the
 #: isinstance chain below.
@@ -81,6 +128,11 @@ def payload_nbytes(obj: Any) -> int:
         return fixed
     if t is str:
         return 48 + len(obj)
+    if t is tuple or t is list:
+        # Control payloads are mostly small tuples of scalars; jumping
+        # straight to the recursion skips four isinstance checks and a
+        # getattr per element-bearing call.
+        return 48 + sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, (bytes, bytearray, memoryview)):

@@ -81,11 +81,11 @@ class RankContext:
         """
         actual = self.machine.compute_time(self.node, nominal_seconds)
         self.compute_time += actual
-        yield self.env.timeout(actual)
+        yield self.env.sleep(actual)
 
     def sleep(self, seconds: float):
         """Generator: idle wait (no compute accounting)."""
-        yield self.env.timeout(seconds)
+        yield self.env.sleep(seconds)
 
     def memcpy(self, nbytes: float):
         """Generator: local memory copy at the node's memory bandwidth.
@@ -93,7 +93,7 @@ class RankContext:
         Used by T-Rochdf's buffered writes: the *visible* cost of a
         buffered output call is exactly this copy (§6.2).
         """
-        yield self.env.timeout(nbytes / self.job.memcpy_bw)
+        yield self.env.sleep(nbytes / self.job.memcpy_bw)
 
     def set_role(self, role: str) -> None:
         """Re-label this rank's CPU (``"compute"`` or ``"server"``).
@@ -217,6 +217,12 @@ class Job:
         #: place of a tuple hash.
         self._mailboxes: Dict[int, List[Optional[Mailbox]]] = {}
         self._next_comm_id = 1  # 0 = world
+        #: Shared Envelope freelist (job-wide: envelopes are created by
+        #: the sender's Comm and released by the receiver's).  Only the
+        #: fault-free receive path recycles — a duplicate-fault filter
+        #: can deliver one envelope twice, so recycling is disabled the
+        #: moment a fault filter is installed.
+        self.envelope_pool: list = []
 
     # -- registry used by Comm ----------------------------------------------
     def context(self, global_rank: int) -> RankContext:

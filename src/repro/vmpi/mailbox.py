@@ -36,6 +36,7 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from ..des import Environment, Event
+from ..des.core import _PENDING
 from .datatypes import ANY_SOURCE, ANY_TAG, Envelope
 
 __all__ = ["Mailbox", "LinearScanMailbox"]
@@ -59,10 +60,15 @@ class Mailbox:
     matches while preserving exact FIFO-by-arrival semantics.
     """
 
-    __slots__ = ("env", "_queues", "_waiters", "_arrivals", "_nitems")
+    __slots__ = ("env", "_queues", "_waiters", "_arrivals", "_nitems",
+                 "_event_pool")
 
     def __init__(self, env: Environment):
         self.env = env
+        #: Freelist of processed get_matching events (one Event is
+        #: allocated per receive otherwise; the plain-recv hot path
+        #: recycles its event right after consuming the envelope).
+        self._event_pool: List[Event] = []
         #: (source, tag) -> deque of (arrival_no, envelope); a key is
         #: removed the moment its deque empties, so the live-key count
         #: tracks the number of distinct pending (source, tag) pairs.
@@ -110,13 +116,32 @@ class Mailbox:
     # -- blocking queries -------------------------------------------------
     def get_matching(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
         """Event firing with the first matching envelope (consumed)."""
-        event = Event(self.env)
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = _PENDING
+            event._ok = True
+            event._defused = False
+            event._cancelled = False
+        else:
+            event = Event(self.env)
         envelope = self.take(source, tag)
         if envelope is not None:
             event.succeed(envelope)
         else:
             self._waiters.append(_Waiter(source, tag, event, consume=True))
         return event
+
+    def recycle(self, event: Event) -> None:
+        """Return a *processed* :meth:`get_matching` event to the pool.
+
+        Only the receive path that created the event and observed it
+        fire may recycle it; unprocessed (e.g. timed-out-and-cancelled)
+        events are refused so a pending waiter can never be reused.
+        """
+        if event.callbacks is None and not event._cancelled:
+            self._event_pool.append(event)
 
     def peek_matching(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
         """Event firing with the first matching envelope (left queued)."""
@@ -277,6 +302,9 @@ class LinearScanMailbox:
                 self._waiters.remove(waiter)
                 return True
         return False
+
+    def recycle(self, event: Event) -> None:
+        """Spec matcher never pools events (kept verbatim-simple)."""
 
     def __len__(self) -> int:
         return len(self.items)
