@@ -58,18 +58,22 @@ def cmd_fig3a(args) -> None:
     counts = (1, 3, 7, 15, 30) if args.quick else (1, 3, 7, 15, 30, 60, 120, 480)
     result = run_fig3a(proc_counts=counts, nruns=1 if args.quick else args.runs,
                        steps=2, snapshot_interval=1)
-    pr = run_fig3a_partial_read(
-        nprocs=4 if args.quick else 15,
-        nblocks_per_rank=2 if args.quick else 4,
-        nelems=512 if args.quick else 4096,
-    )
-    partial = (
-        f"partial attribute read (1 of 4 attrs, {pr['nprocs']} procs): "
-        f"{pr['partial_read_s']*1e3:.2f} ms sieved vs "
-        f"{pr['full_read_s']*1e3:.2f} ms full-record scan "
-        f"({pr['speedup']:.2f}x less visible read time)"
-    )
-    _emit(args, "fig3a.txt", result.render() + "\n" + partial)
+    partial_lines = []
+    for module in ("rochdf", "trochdf"):
+        pr = run_fig3a_partial_read(
+            nprocs=4 if args.quick else 15,
+            nblocks_per_rank=2 if args.quick else 4,
+            nelems=512 if args.quick else 4096,
+            module=module,
+        )
+        partial_lines.append(
+            f"partial attribute read, {module} (1 of 4 attrs, "
+            f"{pr['nprocs']} procs): "
+            f"{pr['partial_read_s']*1e3:.2f} ms sieved vs "
+            f"{pr['full_read_s']*1e3:.2f} ms full-record scan "
+            f"({pr['speedup']:.2f}x less visible read time)"
+        )
+    _emit(args, "fig3a.txt", result.render() + "\n" + "\n".join(partial_lines))
 
 
 def cmd_fig3b(args) -> None:
@@ -93,6 +97,7 @@ def cmd_ablations(args) -> None:
         run_active_buffering_ablation,
         run_buffer_size_sweep,
         run_client_buffering_ablation,
+        run_driver_tier_matrix,
         run_hdf_driver_scaling,
         run_load_balancing_ablation,
         run_ratio_sweep,
@@ -111,6 +116,16 @@ def cmd_ablations(args) -> None:
     _emit(args, "a2.txt", render_table(
         ["driver", "datasets", "write (s)", "read (s)"], rows,
         title="A2 — HDF4 vs HDF5 scaling",
+    ))
+    a2t = run_driver_tier_matrix(ndatasets=100 if args.quick else 800)
+    rows = [
+        [driver, tier, v["visible_write_s"], v["durable_s"]]
+        for driver, tiers in a2t.items()
+        for tier, v in tiers.items()
+    ]
+    _emit(args, "a2_tiers.txt", render_table(
+        ["driver", "tier", "visible write (s)", "durable (s)"], rows,
+        title="A2b — driver x storage tier",
     ))
     a3 = run_ratio_sweep()
     _emit(args, "a3.txt", render_table(
@@ -312,7 +327,7 @@ def cmd_trace(args) -> None:
         result = run_genx(
             machine, 4 + nservers,
             GENxConfig(workload=workload, io_mode=mode, nservers=nservers,
-                       prefix=f"trace_{mode}"),
+                       prefix=f"trace_{mode}", storage_tier=args.tier),
         )
         recorder = result.recorder
         # Module-level records only: the per-dataset "shdf" stream is
@@ -326,20 +341,31 @@ def cmd_trace(args) -> None:
         payloads[mode] = payload
         mod = payload["modules"].get(mode, {})
         counters = payload["counters"].get(mode, {})
+        tier_counters = payload["counters"].get("tier", {})
+        tier_mod = payload["modules"].get("tier", {})
+        # Overlap over the module *and* the storage tier's drain stream:
+        # under tier="burst" the hidden work is the write-behind drain.
+        overlap_records = [
+            r for r in recorder.io_records if r.module in (mode, "tier")
+        ]
         rows.append([
             mode,
             mod.get("visible_write_time", 0.0),
-            mod.get("background_time", 0.0),
-            overlap_ratio(recorder.io_records, module=mode),
+            mod.get("background_time", 0.0) + tier_mod.get("background_time", 0.0),
+            overlap_ratio(overlap_records),
             payload["comm"]["messages_sent"],
             payload["comm"]["bytes_sent"],
             int(counters.get("overflow_flushes", 0)),
             int(counters.get("retries", 0) + counters.get("write_retries", 0)),
             int(counters.get("failovers", 0)),
+            int(tier_counters.get("drain_backlog_bytes", 0)),
+            int(tier_counters.get("tier_evictions", 0)),
+            int(tier_counters.get("drain_flushes", 0)),
         ])
     sections.append(render_table(
         ["service", "visible write (s)", "background (s)", "overlap",
-         "messages", "bytes on wire", "flushes", "retries", "failovers"],
+         "messages", "bytes on wire", "flushes", "retries", "failovers",
+         "drain backlog (B)", "tier evict", "drain flushes"],
         rows,
         title="Instrumentation summary (overlap = background / (background + visible write))",
     ))
@@ -445,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--limit", type=int, default=12,
         help="max records shown per rank (default 12)",
+    )
+    trace.add_argument(
+        "--tier", default="direct", choices=("direct", "burst"),
+        help="storage tier to run the traced jobs through "
+             "(burst = memory-speed absorb + write-behind drain)",
     )
     trace.set_defaults(func=cmd_trace)
     return parser

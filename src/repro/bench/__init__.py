@@ -4,6 +4,7 @@ from .ablations import (
     run_active_buffering_ablation,
     run_buffer_size_sweep,
     run_client_buffering_ablation,
+    run_driver_tier_matrix,
     run_hdf_driver_scaling,
     run_load_balancing_ablation,
     run_ratio_sweep,
@@ -48,6 +49,7 @@ __all__ = [
     "Fig3bResult",
     "run_active_buffering_ablation",
     "run_hdf_driver_scaling",
+    "run_driver_tier_matrix",
     "run_ratio_sweep",
     "run_buffer_size_sweep",
     "run_client_buffering_ablation",

@@ -45,6 +45,8 @@ from ..faults import (
     Straggler,
     TransientEIO,
 )
+from ..fs.tiers import TierConfig
+from ..shdf.drivers import apply_storage_tier
 from ..io import (
     PandaServer,
     RochdfModule,
@@ -92,6 +94,11 @@ _HDF_NBLOCKS = 2
 #: lasts 0.2 s, so the cumulative backoff (~4 s at 12 attempts) must
 #: outlast it or the retries exhaust while the disk is still full.
 _PATIENT_RETRY = RetryPolicy(max_attempts=12, base_delay=2e-3)
+
+#: Burst-tier config for the drain scenarios: faults land on the
+#: *backing* disk, so the write-behind drain (not the module) must
+#: outlast the fault window with its own patient backoff.
+_BURST_TIER = TierConfig(retry=_PATIENT_RETRY)
 
 
 def _digest_blocks(blockmap: Dict[int, Dict[str, np.ndarray]]) -> str:
@@ -180,11 +187,13 @@ def _run_rocpanda_scenario(
     seed: int,
     client_retry: RetryPolicy,
     server_config: ServerConfig,
+    storage_tier: str = "direct",
 ) -> Tuple[str, Dict[str, Any]]:
     """Write under faults, restart fault-free on a different server count."""
     machine = Machine(make_testbox(nnodes=8, cpus_per_node=4), seed=seed)
     if plan is not None:
         machine.install_faults(plan)
+    apply_storage_tier(machine, storage_tier, _BURST_TIER)
     result = run_spmd(
         machine, _PANDA_NPROCS, _panda_write_main(client_retry, server_config)
     )
@@ -298,11 +307,16 @@ def _hdf_restart_main():
 
 
 def _run_hdf_scenario(
-    plan: Optional[FaultPlan], seed: int, module_name: str, retry: RetryPolicy
+    plan: Optional[FaultPlan],
+    seed: int,
+    module_name: str,
+    retry: RetryPolicy,
+    storage_tier: str = "direct",
 ) -> Tuple[str, Dict[str, Any]]:
     machine = Machine(make_testbox(nnodes=4, cpus_per_node=4), seed=seed)
     if plan is not None:
         machine.install_faults(plan)
+    apply_storage_tier(machine, storage_tier, _BURST_TIER)
     result = run_spmd(machine, _HDF_NPROCS, _hdf_write_main(module_name, retry))
     counters = _counters(result.recorder)
     retries = sum(result.returns)
@@ -333,13 +347,16 @@ def _scenarios() -> List[Dict[str, Any]]:
     quiet_server = ServerConfig()
     patient_server = ServerConfig(retry=_PATIENT_RETRY)
 
-    def panda(plan, client_retry=default, server_config=quiet_server):
+    def panda(plan, client_retry=default, server_config=quiet_server,
+              storage_tier="direct"):
         return lambda seed: _run_rocpanda_scenario(
-            plan, seed, client_retry, server_config
+            plan, seed, client_retry, server_config, storage_tier
         )
 
-    def hdf(plan, module_name, retry=default):
-        return lambda seed: _run_hdf_scenario(plan, seed, module_name, retry)
+    def hdf(plan, module_name, retry=default, storage_tier="direct"):
+        return lambda seed: _run_hdf_scenario(
+            plan, seed, module_name, retry, storage_tier
+        )
 
     def panda_restart(plan, client_retry=default):
         return lambda seed: _run_rocpanda_restart_fault_scenario(
@@ -420,6 +437,32 @@ def _scenarios() -> List[Dict[str, Any]]:
             "module": "rocpanda",
             "run": panda_restart(
                 FaultPlan((TransientEIO(op="read", path_prefix="ck", count=2),))
+            ),
+        },
+        {
+            # Server crash while the burst tier is still draining its
+            # file: the torn front copy drains to the backing disk
+            # without a commit footer (detectable), the heir's failover
+            # generation file drains complete, and restart — which reads
+            # the shared backing disk directly — recovers every block.
+            "scenario": "drain_server_crash",
+            "module": "rocpanda",
+            "run": panda(
+                FaultPlan((ServerCrash(rank=4, at_time=0.055),)),
+                storage_tier="burst",
+            ),
+        },
+        {
+            # The *backing* disk hits its capacity window while the
+            # drain is flushing: the tier absorbs the snapshot at
+            # memory speed regardless, and the drain's patient backoff
+            # outlasts the window (tier backpressure + retry).
+            "scenario": "drain_disk_full",
+            "module": "rochdf",
+            "run": hdf(
+                FaultPlan((DiskFull(at_time=0.0, capacity_bytes=4096, duration=0.05),)),
+                "rochdf",
+                storage_tier="burst",
             ),
         },
         {

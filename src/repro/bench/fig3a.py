@@ -151,23 +151,33 @@ def run_fig3a_partial_read(
     nblocks_per_rank: int = 4,
     nelems: int = 4096,
     seed: int = 300,
+    module: str = "rochdf",
 ) -> Dict[str, float]:
     """Virtual-time cost of a Fig 3(a)-style partial attribute read.
 
-    Writes one Rochdf snapshot holding several attributes per block,
-    then restores (a) every attribute and (b) a single attribute.
-    Before the partial-read sieve, (b) cost exactly as much virtual
-    time as (a) — every record was read and the unwanted arrays were
-    discarded after decode.  With sieving, (b) reads only the wanted
-    records, so ``partial_read_s`` is the "after" number and
-    ``full_read_s`` doubles as the "before" one.
+    Writes one snapshot holding several attributes per block, then
+    restores (a) every attribute and (b) a single attribute.  Before
+    the partial-read sieve, (b) cost exactly as much virtual time as
+    (a) — every record was read and the unwanted arrays were discarded
+    after decode.  With sieving, (b) reads only the wanted records, so
+    ``partial_read_s`` is the "after" number and ``full_read_s``
+    doubles as the "before" one.
+
+    ``module`` selects the I/O module under test: ``"rochdf"`` or
+    ``"trochdf"`` (T-Rochdf restarts the Rochdf way, §7.1 — its
+    ``read_attribute`` inherits the same sieve, plus a drain of its own
+    buffered snapshots first; the writer side syncs so the background
+    thread's files are on disk before the machine is torn down).
     """
     import numpy as np
 
-    from ..io import RochdfModule
+    from ..io import RochdfModule, TRochdfModule
     from ..roccom import AttributeSpec, LOC_ELEMENT, LOC_NODE, Roccom
     from ..vmpi import run_spmd
 
+    if module not in ("rochdf", "trochdf"):
+        raise ValueError(f"unknown module {module!r}")
+    mod_factory = RochdfModule if module == "rochdf" else TRochdfModule
     attrs = ("pressure", "temperature", "velocity", "density")
 
     def _window(com, ctx):
@@ -186,9 +196,13 @@ def run_fig3a_partial_read(
 
     def writer_main(ctx):
         com = Roccom(ctx)
-        com.load_module(RochdfModule(ctx))
+        com.load_module(mod_factory(ctx))
         _window(com, ctx)
         yield from com.call_function("OUT.write_attribute", "Fluid", None, "f3apr")
+        # T-Rochdf buffers and writes in the background; sync before the
+        # machine is torn down so the files are durable (no-op cost for
+        # plain Rochdf, whose write already blocked).
+        yield from com.call_function("OUT.sync")
 
     machine = Machine(frost(), seed=seed)
     run_spmd(machine, nprocs, writer_main)
@@ -198,7 +212,7 @@ def run_fig3a_partial_read(
     def _reader(attr_names, label):
         def main(ctx):
             com = Roccom(ctx)
-            mod = com.load_module(RochdfModule(ctx))
+            mod = com.load_module(mod_factory(ctx))
             w = com.new_window("Fluid")
             for i in range(nblocks_per_rank):
                 w.register_pane(ctx.rank * nblocks_per_rank + i, 0, 0)
@@ -218,6 +232,7 @@ def run_fig3a_partial_read(
     full_s = max(times["full"])
     partial_s = max(times["partial"])
     return {
+        "module": module,
         "nprocs": nprocs,
         "full_read_s": full_s,
         "partial_read_s": partial_s,

@@ -32,6 +32,13 @@ Benchmarks:
 * ``vfs_read_coalesce`` — SHDF dataset reads through the structural
   scan + read-coalescing scheduler (one directory pass, sieved merged
   ``fs.read`` calls);
+* ``tier_absorb_burst`` / ``tier_absorb_direct`` — the same coalesced
+  SHDF write stream through the burst-buffer storage tier vs the bare
+  filesystem, drain barrier included (the simulator-overhead cost of
+  the tier bookkeeping);
+* ``tier_drain_overlap`` — the tier under pressure: capacity below one
+  snapshot, so every run crosses the watermarks, evicts clean files
+  and spills synchronously while the drain works behind;
 * ``table1_64p`` — one end-to-end wall-clock run of the Table 1
   experiment at 64 compute processors (the acceptance workload).
 
@@ -44,6 +51,7 @@ speedup factors so the before/after comparison ships with the numbers.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -63,6 +71,8 @@ __all__ = [
     "bench_restart",
     "bench_vfs_coalesce",
     "bench_vfs_read_coalesce",
+    "bench_tier_absorb",
+    "bench_tier_drain_overlap",
     "bench_table1_e2e",
     "run_perfbench",
     "profile_stats",
@@ -83,10 +93,24 @@ DEFAULT_QUICK_BASELINE_PATH = os.path.join(
 
 
 def _timed(fn: Callable[[], int]) -> Dict[str, float]:
-    """Run ``fn`` (returns an op count) and report ops/sec."""
-    t0 = time.perf_counter()
-    ops = fn()
-    seconds = time.perf_counter() - t0
+    """Run ``fn`` (returns an op count) and report ops/sec.
+
+    Garbage collection is paused for the measurement (the same policy
+    as ``timeit``): a collection pause is milliseconds long, which at
+    quick sizes is the whole benchmark, and whether one lands inside
+    the timed region is a coin flip that the regression gate would
+    otherwise inherit.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        ops = fn()
+        seconds = time.perf_counter() - t0
+    finally:
+        if was_enabled:
+            gc.enable()
     return {
         "ops": int(ops),
         "seconds": round(seconds, 6),
@@ -560,6 +584,114 @@ def bench_vfs_read_coalesce(
     return _timed(run)
 
 
+def bench_tier_absorb(
+    ndatasets: int = 256, cells: int = 512, repeats: int = 4,
+    tier: str = "burst",
+) -> Dict[str, float]:
+    """SHDF dataset write rate (datasets/sec) through a storage tier.
+
+    The tier-side mirror of :func:`bench_vfs_coalesce`: the same
+    coalesced ``write_records`` stream, but the filesystem is fronted
+    by the burst buffer (``tier="burst"``) or left bare
+    (``tier="direct"``), and the run ends with the drain barrier so
+    both variants pay for full durability.  The pair prices the
+    simulator-side cost of the tier bookkeeping (mutation
+    notifications, journal, drain process) — the *virtual-time* win is
+    Table 1's job, not this one's.
+    """
+    from ..des import Environment
+    from ..fs import BurstBufferTier, NFSModel
+    from ..shdf.codec import encode_dataset
+    from ..shdf.drivers import hdf4_driver
+    from ..shdf.file import SHDFWriter
+    from ..shdf.model import Dataset
+
+    rng = np.random.default_rng(23)
+    datasets = [
+        Dataset(f"W/b{i:04d}/f", rng.random(cells), {"ncomp": 1})
+        for i in range(ndatasets)
+    ]
+
+    def run() -> int:
+        env = Environment()
+        fs = NFSModel(env)
+        if tier == "burst":
+            fs = BurstBufferTier(env, fs)
+
+        def writes():
+            for r in range(repeats):
+                writer = SHDFWriter(env, fs, f"tier_{r}.shdf", hdf4_driver())
+                yield from writer.open()
+                yield from writer.write_records(
+                    [(d.name, encode_dataset(d), d.nbytes) for d in datasets]
+                )
+                yield from writer.close()
+            barrier = getattr(fs, "drain_barrier", None)
+            if barrier is not None:
+                yield from barrier()
+                assert fs.backlog_bytes == 0
+
+        env.process(writes(), name="writes")
+        env.run()
+        return ndatasets * repeats
+
+    return _timed(run)
+
+
+def bench_tier_drain_overlap(
+    ndatasets: int = 256, cells: int = 512, repeats: int = 4,
+) -> Dict[str, float]:
+    """Tier write rate under pressure (datasets/sec): capacity below
+    one snapshot, drain chunked small.
+
+    Every repeat crosses the high watermark, evicts clean files and
+    spills dirty bytes synchronously while the drain flushes behind —
+    the worst-case bookkeeping path (watermark scans, journal epochs,
+    requeues) that a healthy tier only touches under backlog.
+    """
+    from ..des import Environment
+    from ..fs import BurstBufferTier, NFSModel, TierConfig
+    from ..shdf.codec import encode_dataset
+    from ..shdf.drivers import hdf4_driver
+    from ..shdf.file import SHDFWriter
+    from ..shdf.model import Dataset
+
+    rng = np.random.default_rng(29)
+    datasets = [
+        Dataset(f"W/b{i:04d}/f", rng.random(cells), {"ncomp": 1})
+        for i in range(ndatasets)
+    ]
+    # Half a file's payload: forces eviction + spill on every repeat.
+    capacity = max(4096, ndatasets * cells * 8 // 2)
+
+    def run() -> int:
+        env = Environment()
+        fs = BurstBufferTier(
+            env, NFSModel(env),
+            TierConfig(capacity_bytes=capacity, drain_chunk_bytes=64 * 1024),
+        )
+
+        def writes():
+            for r in range(repeats):
+                writer = SHDFWriter(env, fs, f"ovl_{r}.shdf", hdf4_driver())
+                yield from writer.open()
+                yield from writer.write_records(
+                    [(d.name, encode_dataset(d), d.nbytes) for d in datasets]
+                )
+                yield from writer.close()
+                # A compute phase between snapshots: the drain overlaps.
+                yield env.sleep(0.05)
+            yield from fs.drain_barrier()
+            assert fs.backlog_bytes == 0
+
+        env.process(writes(), name="writes")
+        env.run()
+        assert fs.stats.spills + fs.stats.evictions > 0
+        return ndatasets * repeats
+
+    return _timed(run)
+
+
 # -- end-to-end -------------------------------------------------------------
 
 def bench_table1_e2e(quick: bool = False) -> Dict[str, Any]:
@@ -622,46 +754,72 @@ def run_perfbench(
                      nmsgs=10, ndatasets=4, repeats=3,
                      ship_blocks=8, ship_snaps=2, vfs_datasets=64,
                      vfs_repeats=2, restart_blocks=8, restart_repeats=2,
-                     vfs_read_datasets=64, vfs_read_repeats=2)
+                     vfs_read_datasets=64, vfs_read_repeats=2,
+                     tier_datasets=64, tier_repeats=2)
     else:
         sizes = dict(nevents=200_000, nsources=64, rounds=60, nranks=32,
                      nmsgs=40, ndatasets=16, repeats=8,
                      ship_blocks=24, ship_snaps=4, vfs_datasets=256,
                      vfs_repeats=4, restart_blocks=24, restart_repeats=3,
-                     vfs_read_datasets=256, vfs_read_repeats=4)
+                     vfs_read_datasets=256, vfs_read_repeats=4,
+                     tier_datasets=256, tier_repeats=4)
+
+    # Quick sizes finish in well under a millisecond per micro, where a
+    # single scheduler hiccup swings the measured rate several-fold and
+    # turns the CI regression gate into a coin flip.  Best-of-N strips
+    # that downward noise; full sizes run long enough for one pass.
+    passes = 3 if quick else 1
+
+    def best(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
+        return min((fn() for _ in range(passes)),
+                   key=lambda numbers: numbers["seconds"])
 
     micro: Dict[str, Any] = {}
-    micro["des_events"] = bench_des_events(sizes["nevents"])
+    micro["des_events"] = best(lambda: bench_des_events(sizes["nevents"]))
     for impl in ("bucketed", "heapq"):
-        micro[f"des_dispatch_{impl}"] = bench_des_dispatch(
-            sizes["nevents"], queue=impl)
-        micro[f"bulk_delivery_{impl}"] = bench_bulk_delivery(
-            sizes["nevents"], queue=impl)
+        micro[f"des_dispatch_{impl}"] = best(
+            lambda i=impl: bench_des_dispatch(sizes["nevents"], queue=i))
+        micro[f"bulk_delivery_{impl}"] = best(
+            lambda i=impl: bench_bulk_delivery(sizes["nevents"], queue=i))
     for impl in ("indexed", "reference"):
-        micro[f"mailbox_backlog_{impl}"] = bench_mailbox_backlog(
-            sizes["nsources"], sizes["rounds"], mailbox=impl)
-        micro[f"mailbox_waiters_{impl}"] = bench_mailbox_waiters(
-            sizes["nsources"], sizes["rounds"], mailbox=impl)
-        micro[f"vmpi_msgrate_{impl}"] = bench_vmpi_msgrate(
-            sizes["nranks"], sizes["nmsgs"], mailbox=impl)
-    codec = bench_codec(ndatasets=sizes["ndatasets"], repeats=sizes["repeats"])
-    for name, numbers in codec.items():
-        micro[f"codec_{name}"] = numbers
+        micro[f"mailbox_backlog_{impl}"] = best(
+            lambda i=impl: bench_mailbox_backlog(
+                sizes["nsources"], sizes["rounds"], mailbox=i))
+        micro[f"mailbox_waiters_{impl}"] = best(
+            lambda i=impl: bench_mailbox_waiters(
+                sizes["nsources"], sizes["rounds"], mailbox=i))
+        micro[f"vmpi_msgrate_{impl}"] = best(
+            lambda i=impl: bench_vmpi_msgrate(
+                sizes["nranks"], sizes["nmsgs"], mailbox=i))
+    codec_runs = [
+        bench_codec(ndatasets=sizes["ndatasets"], repeats=sizes["repeats"])
+        for _ in range(passes)
+    ]
+    for name in codec_runs[0]:
+        micro[f"codec_{name}"] = min(
+            (run[name] for run in codec_runs),
+            key=lambda numbers: numbers["seconds"])
     for name, batched in (("ship_batched", True), ("ship_perblock", False)):
-        micro[name] = bench_ship(
-            sizes["ship_blocks"], sizes["ship_snaps"], batched=batched)
+        micro[name] = best(lambda b=batched: bench_ship(
+            sizes["ship_blocks"], sizes["ship_snaps"], batched=b))
     for name, batched_restart in (
         ("restart_twophase", True), ("restart_perblock", False)
     ):
-        micro[name] = bench_restart(
+        micro[name] = best(lambda b=batched_restart: bench_restart(
             sizes["restart_blocks"], repeats=sizes["restart_repeats"],
-            batched_restart=batched_restart)
+            batched_restart=b))
     for name, coalesce in (("vfs_coalesce", True), ("vfs_percall", False)):
-        micro[name] = bench_vfs_coalesce(
-            sizes["vfs_datasets"], repeats=sizes["vfs_repeats"],
-            coalesce=coalesce)
-    micro["vfs_read_coalesce"] = bench_vfs_read_coalesce(
-        sizes["vfs_read_datasets"], repeats=sizes["vfs_read_repeats"])
+        micro[name] = best(lambda c=coalesce: bench_vfs_coalesce(
+            sizes["vfs_datasets"], repeats=sizes["vfs_repeats"], coalesce=c))
+    micro["vfs_read_coalesce"] = best(lambda: bench_vfs_read_coalesce(
+        sizes["vfs_read_datasets"], repeats=sizes["vfs_read_repeats"]))
+    for name, tier in (
+        ("tier_absorb_burst", "burst"), ("tier_absorb_direct", "direct")
+    ):
+        micro[name] = best(lambda t=tier: bench_tier_absorb(
+            sizes["tier_datasets"], repeats=sizes["tier_repeats"], tier=t))
+    micro["tier_drain_overlap"] = best(lambda: bench_tier_drain_overlap(
+        sizes["tier_datasets"], repeats=sizes["tier_repeats"]))
 
     payload: Dict[str, Any] = {
         "schema": "perfbench-v1",

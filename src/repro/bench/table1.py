@@ -91,6 +91,7 @@ def run_table1(
     nblocks_fluid: int = 320,
     nblocks_solid: int = 160,
     nnodes: int = 208,
+    storage_tier: str = "direct",
 ) -> Table1Result:
     """Run the full Table 1 experiment matrix.
 
@@ -98,6 +99,11 @@ def run_table1(
     matrix up to the scaling sweep: the partitioner needs at least one
     block per client, and runs past 416 ranks need a larger simulated
     cluster than the real Turing's 208 nodes.
+
+    ``storage_tier`` routes the *write* runs through the chosen tier
+    ("direct" keeps the executable spec; "burst" fronts the filesystem
+    with the burst buffer of :mod:`repro.fs.tiers`).  Restart runs stay
+    direct: they read cold data from the durable disk either way.
     """
     workload = lab_scale_motor(
         scale=scale, steps=steps, snapshot_interval=snapshot_interval,
@@ -118,7 +124,10 @@ def run_table1(
             r_hdf = run_genx(
                 m,
                 nclients,
-                GENxConfig(workload=workload, io_mode="rochdf", prefix="t1"),
+                GENxConfig(
+                    workload=workload, io_mode="rochdf", prefix="t1",
+                    storage_tier=storage_tier,
+                ),
             )
             run_metrics["computation"] = r_hdf.computation_time
             run_metrics["rochdf"] = r_hdf.visible_io_time
@@ -145,7 +154,10 @@ def run_table1(
             r_thr = run_genx(
                 m,
                 nclients,
-                GENxConfig(workload=workload, io_mode="trochdf", prefix="t1"),
+                GENxConfig(
+                    workload=workload, io_mode="trochdf", prefix="t1",
+                    storage_tier=storage_tier,
+                ),
             )
             run_metrics["trochdf"] = r_thr.visible_io_time
 
@@ -160,6 +172,7 @@ def run_table1(
                     io_mode="rocpanda",
                     nservers=nservers,
                     prefix="t1",
+                    storage_tier=storage_tier,
                 ),
             )
             run_metrics["rocpanda"] = r_panda.visible_io_time

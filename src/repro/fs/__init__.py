@@ -8,6 +8,14 @@ from .models import (
     LocalFSModel,
     NFSModel,
 )
+from .tiers import (
+    BurstBufferTier,
+    DrainFailedError,
+    DrainJournal,
+    TierConfig,
+    TierDisk,
+    TierStats,
+)
 from .vfs import (
     DiskFullError,
     FileExists,
@@ -34,4 +42,10 @@ __all__ = [
     "WriteCoalescer",
     "ReadCoalescer",
     "merge_extents",
+    "TierConfig",
+    "TierStats",
+    "DrainJournal",
+    "DrainFailedError",
+    "TierDisk",
+    "BurstBufferTier",
 ]

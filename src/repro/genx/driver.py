@@ -19,7 +19,7 @@ from ..io.rocpanda import PandaServer, RocpandaModule, ServerConfig, rocpanda_in
 from ..io.trochdf import TRochdfModule
 from ..roccom.module import IO_WINDOW
 from ..roccom.registry import Roccom
-from ..shdf.drivers import HDFDriver, hdf4_driver
+from ..shdf.drivers import STORAGE_TIERS, HDFDriver, apply_storage_tier, hdf4_driver
 from ..util.trace import Tracer
 from ..vmpi.launcher import run_spmd
 from . import physics as phys
@@ -76,12 +76,19 @@ class GENxConfig:
     load_balance: bool = False
     lb_interval: int = 10
     lb_threshold: float = 1.10
+    #: Where writes land: "direct" (executable spec) or "burst"
+    #: (burst-buffer tier fronting the machine's fs; see fs/tiers.py).
+    storage_tier: str = "direct"
+    #: Optional :class:`~repro.fs.tiers.TierConfig` for the burst tier.
+    tier_config: Optional[Any] = None
 
     def __post_init__(self):
         if self.io_mode not in IO_MODES:
             raise ValueError(f"io_mode must be one of {IO_MODES}")
         if self.io_mode == "rocpanda" and self.nservers <= 0:
             raise ValueError("rocpanda mode needs nservers > 0")
+        if self.storage_tier not in STORAGE_TIERS:
+            raise ValueError(f"storage_tier must be one of {STORAGE_TIERS}")
 
 
 @dataclass
@@ -283,6 +290,7 @@ def run_genx(
             f"{config.nservers} servers leaves only "
             f"{nprocs - config.nservers} clients"
         )
+    apply_storage_tier(machine, config.storage_tier, config.tier_config)
     job = run_spmd(machine, nprocs, genx_main(config), placement=placement, tracer=tracer)
     clients = [r for r in job.returns if isinstance(r, ClientReport)]
     servers = [r for r in job.returns if isinstance(r, ServerReport)]

@@ -193,7 +193,10 @@ class RochdfModule(ServiceModule):
         nbytes = 0
         window = self.com.window(window_name)
         wanted = set(window.pane_ids())
-        files = list_snapshot_files(ctx.disk, path)
+        # Through the fs's disk, not the machine's: under a burst tier
+        # the fs namespace is the union of resident and drained files,
+        # so a restart sees snapshots the drain has not finished yet.
+        files = list_snapshot_files(ctx.fs.disk, path)
         if not files:
             raise FileNotFoundError(f"no snapshot files with prefix {path!r}")
         restored: List[int] = []
@@ -290,10 +293,27 @@ class RochdfModule(ServiceModule):
         ctx.trace("rochdf", f"restored {len(restored)} blocks from {path}")
         return sorted(restored)
 
+    def _tier_barrier(self):
+        """Generator: wait for a burst tier's write-behind drain, if any.
+
+        Under ``storage_tier="direct"`` the machine's fs has no
+        ``drain_barrier`` and this is a pure no-op (no events, no time),
+        keeping the seam timing-transparent.
+        """
+        barrier = getattr(self.ctx.fs, "drain_barrier", None)
+        if barrier is not None:
+            yield from barrier()
+
     def sync(self):
-        """Generator: no-op — non-threaded Rochdf writes are blocking."""
+        """Generator: make every completed write durable.
+
+        Non-threaded Rochdf writes are blocking, so without a storage
+        tier this is a no-op; with a burst tier it waits for the
+        write-behind drain (the durability promise ``sync`` makes).
+        """
         t0 = self.ctx.now
         yield self.ctx.env.sleep(0)
+        yield from self._tier_barrier()
         self.ctx.io_record(self.name, "sync", t_start=t0)
 
 

@@ -253,6 +253,12 @@ class PandaServer:
                 f"for paths {paths} that never saw a WriteBegin"
             )
         yield from self._close_finished_paths(force=True)
+        # Under a burst storage tier, the server's durability promise
+        # extends through the write-behind drain: wait for it before
+        # answering the final syncs and going away.
+        barrier = getattr(ctx.fs, "drain_barrier", None)
+        if barrier is not None:
+            yield from barrier()
         self._answer_sync_waiters()
         ctx.trace("panda-server", "shutdown complete")
         return self.stats
@@ -664,7 +670,7 @@ class PandaServer:
         # restart may use a different number of servers than the run
         # that wrote the files (§4.1).
         files = sorted(
-            f for f in ctx.disk.listdir(prefix + "_s") if f.endswith(".shdf")
+            f for f in ctx.fs.disk.listdir(prefix + "_s") if f.endswith(".shdf")
         )
         if not files:
             raise FileNotFoundError(f"no Rocpanda restart files with prefix {prefix!r}")
@@ -736,7 +742,7 @@ class PandaServer:
 
     def _restart_files(self, prefix: str) -> List[str]:
         files = sorted(
-            f for f in self.ctx.disk.listdir(prefix + "_s") if f.endswith(".shdf")
+            f for f in self.ctx.fs.disk.listdir(prefix + "_s") if f.endswith(".shdf")
         )
         if not files:
             raise FileNotFoundError(

@@ -171,8 +171,27 @@ class TRochdfModule(RochdfModule):
         """Generator: wait until all buffered snapshots are on disk (§5)."""
         t0 = self.ctx.now
         yield from self._drain()
+        yield from self._tier_barrier()
         self.stats.sync_time += self.ctx.now - t0
         self.ctx.io_record(self.name, "sync", t_start=t0)
+
+    def read_attribute(
+        self,
+        window_name: str,
+        attr_names: Optional[List[str]] = None,
+        path: str = "snapshot",
+    ):
+        """Generator: restore panes, attr-sieved exactly like Rochdf.
+
+        T-Rochdf performs restart the same way Rochdf does (§7.1) —
+        including the ``attr_names`` partial-read sieve — but must first
+        wait out its own buffered snapshots so a read-after-write of the
+        same prefix never observes a half-written file.
+        """
+        if self._pending:
+            yield from self._drain()
+        result = yield from super().read_attribute(window_name, attr_names, path)
+        return result
 
     # -- internals ---------------------------------------------------------------
     def _drain(self, raise_errors: bool = True):

@@ -250,6 +250,11 @@ class Job:
         faults = getattr(self.machine, "faults", None)
         if faults is not None:
             faults.attach_job(self, procs)
+        # A tiered fs (fs/tiers.py) adopts the job's recorder so drain
+        # activity lands in the same instrumentation stream.
+        attach_fs = getattr(self.machine.fs, "attach_job", None)
+        if attach_fs is not None:
+            attach_fs(self)
         done = self.env.all_of(procs)
         try:
             self.env.run(until=done if until is None else until)

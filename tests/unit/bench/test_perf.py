@@ -10,6 +10,8 @@ from repro.bench.perf import (
     bench_des_events,
     bench_mailbox_backlog,
     bench_mailbox_waiters,
+    bench_tier_absorb,
+    bench_tier_drain_overlap,
     bench_vmpi_msgrate,
     load_baseline,
     render_perf,
@@ -43,6 +45,17 @@ class TestMicrobenches:
         assert set(out) == {"encode", "decode", "decode_zero_copy"}
         for numbers in out.values():
             assert numbers["mb_per_sec"] > 0
+
+    @pytest.mark.parametrize("tier", ["burst", "direct"])
+    def test_tier_absorb_both_tiers(self, tier):
+        out = bench_tier_absorb(ndatasets=8, repeats=2, tier=tier)
+        assert out["ops"] == 16
+        assert out["ops_per_sec"] > 0
+
+    def test_tier_drain_overlap_forces_pressure(self):
+        # The internal assert verifies spills/evictions happened.
+        out = bench_tier_drain_overlap(ndatasets=8, repeats=2)
+        assert out["ops"] == 16
 
 
 class TestSuite:
